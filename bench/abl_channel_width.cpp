@@ -1,0 +1,83 @@
+// Ablation: the paper's Section II-D claim — narrow-channel DRAM (8-bit,
+// 2 GB/s per channel, many channels) sustains more simultaneous fine-
+// grained accesses than a conventional wide bus of the same aggregate peak.
+//
+// We compare the chick's 8x 8-bit channels against a hypothetical Emu with
+// one 64-bit channel of the same total bandwidth serving all eight
+// nodelets... which our machine model can't literally express (channels are
+// per-nodelet), so instead we sweep the channel's bus width while scaling
+// the transfer rate to hold per-channel peak constant, and measure random
+// 8-byte read throughput directly at the DRAM model.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "mem/dram.hpp"
+#include "report/csv.hpp"
+#include "report/table.hpp"
+#include "sim/random.hpp"
+#include "sim/task.hpp"
+
+using namespace emusim;
+
+namespace {
+
+sim::Task reader(sim::Engine& eng, mem::DramChannel& ch, std::uint64_t addr,
+                 std::uint32_t bytes) {
+  co_await ch.read(addr, bytes);
+  (void)eng;
+}
+
+/// Issue `count` random reads of `bytes` each and return useful MB/s.
+double random_read_bandwidth(const mem::DramTiming& timing,
+                             std::uint32_t bytes, int count) {
+  sim::Engine eng;
+  mem::DramChannel ch(eng, timing);
+  sim::Rng rng(99);
+  std::vector<sim::Task> ts;
+  ts.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const std::uint64_t addr = rng.below(1u << 30) & ~7ULL;
+    ts.push_back(reader(eng, ch, addr, bytes));
+  }
+  for (auto& t : ts) t.start();
+  const Time elapsed = eng.run();
+  return mb_per_sec(static_cast<double>(bytes) * count, elapsed);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opt = bench::parse_options(argc, argv);
+  const int count = opt.quick ? 2000 : 20000;
+  report::CsvWriter csv(opt.csv_path, {"ablation", "bus_bits", "access_bytes",
+                                       "useful_mbps", "efficiency"});
+
+  report::Table t(
+      "Ablation: random reads through one DRAM channel — bus width vs "
+      "useful bandwidth (per-channel peak held at 1.6 GB/s)");
+  t.columns({"bus bits", "8B reads MB/s", "64B reads MB/s", "8B efficiency"});
+
+  for (int bus_bits : {8, 16, 32, 64}) {
+    mem::DramTiming timing = mem::DramTiming::ncdram_chick();
+    timing.bus_bits = bus_bits;
+    // Hold peak constant: wider bus, proportionally slower transfer clock.
+    timing.transfer_rate_mts = 1600.0 * 8 / bus_bits;
+
+    const double bw8 = random_read_bandwidth(timing, 8, count);
+    const double bw64 = random_read_bandwidth(timing, 64, count);
+    const double eff = bw8 / (timing.bytes_per_sec() / 1e6);
+    t.row({report::Table::integer(bus_bits), report::Table::num(bw8),
+           report::Table::num(bw64), report::Table::num(eff, 3)});
+    csv.row({"channel_width", report::Table::integer(bus_bits), "8",
+             report::Table::num(bw8), report::Table::num(eff, 3)});
+    csv.row({"channel_width", report::Table::integer(bus_bits), "64",
+             report::Table::num(bw64), ""});
+  }
+  t.print();
+  std::printf(
+      "\nNote: with the peak held constant, every width moves 64 B bursts "
+      "equally well;\nthe narrow bus wins on 8 B requests because its "
+      "minimum burst matches the request.\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Ablation: thread context size vs migration performance.
+//
+// The Emu keeps contexts under 200 bytes (16 GP registers + PC + SP +
+// status) precisely so migrations stay cheap.  This sweep grows the context
+// and watches inter-node ping-pong and block-1 chasing on the 8-node
+// full-speed system, where contexts actually cross the RapidIO fabric.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "kernels/chase_emu.hpp"
+#include "kernels/pingpong.hpp"
+#include "report/csv.hpp"
+#include "report/table.hpp"
+
+using namespace emusim;
+
+int main(int argc, char** argv) {
+  const auto opt = bench::parse_options(argc, argv);
+  report::CsvWriter csv(opt.csv_path,
+                        {"ablation", "context_bytes", "internode_pingpong_mps",
+                         "chase_block1_mbps"});
+
+  report::Table t(
+      "Ablation: thread context size on the 8-node full-speed system");
+  t.columns({"context B", "inter-node ping-pong M mig/s",
+             "chase block=1 MB/s"});
+
+  const std::vector<std::size_t> sizes =
+      opt.quick ? std::vector<std::size_t>{200, 3200}
+                : std::vector<std::size_t>{100, 200, 400, 800, 1600, 3200};
+  for (std::size_t bytes : sizes) {
+    auto cfg = emu::SystemConfig::fullspeed_multinode(8);
+    cfg.thread_context_bytes = bytes;
+
+    kernels::PingPongParams pp;
+    pp.threads = 64;
+    pp.round_trips = opt.quick ? 100 : 500;
+    pp.nodelet_a = 0;
+    pp.nodelet_b = cfg.nodelets_per_node;  // first nodelet of node 1
+    const auto pr = kernels::run_pingpong(cfg, pp);
+
+    kernels::ChaseEmuParams cp;
+    cp.n = opt.quick ? (1u << 14) : (1u << 16);
+    cp.block = 1;
+    cp.threads = opt.quick ? 256 : 1024;
+    const auto cr = kernels::run_chase_emu(cfg, cp);
+    if (!cr.verified) {
+      std::fprintf(stderr, "FAIL: verification failed\n");
+      return 1;
+    }
+
+    t.row({report::Table::integer(static_cast<long long>(bytes)),
+           report::Table::num(pr.migrations_per_sec / 1e6, 2),
+           report::Table::num(cr.mb_per_sec)});
+    csv.row({"context_size", report::Table::integer(static_cast<long long>(bytes)),
+             report::Table::num(pr.migrations_per_sec / 1e6, 3),
+             report::Table::num(cr.mb_per_sec)});
+  }
+  t.print();
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Shared plumbing for the figure-regeneration harnesses: flag parsing and
+// common output conventions.  Every binary supports:
+//   --csv <path>   write the series as tidy CSV in addition to the table
+//   --quick        smaller problem sizes / fewer sweep points (CI mode)
+#pragma once
+
+#include <cstring>
+#include <string>
+
+namespace emusim::bench {
+
+struct Options {
+  std::string csv_path;
+  bool quick = false;
+};
+
+inline Options parse_options(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
+      o.csv_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      o.quick = true;
+    }
+  }
+  return o;
+}
+
+}  // namespace emusim::bench

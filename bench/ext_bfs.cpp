@@ -1,0 +1,83 @@
+// Extension: BFS on the Emu machine model over the paper's motivating graph
+// shapes — a deep low-degree grid, a uniform random graph, and a skewed
+// RMAT graph — on the Chick and the full-speed design point.
+//
+// BFS composes everything the paper characterizes: frontier spawn trees
+// (Fig 5), fine-grained random access (Fig 6), and migration-bound edge
+// relaxations (Fig 10); the RMAT hub vertices stress load balance the way
+// streaming-graph workloads do.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "kernels/bfs_emu.hpp"
+#include "kernels/bfs_xeon.hpp"
+#include "report/csv.hpp"
+#include "report/table.hpp"
+
+using namespace emusim;
+
+int main(int argc, char** argv) {
+  const auto opt = bench::parse_options(argc, argv);
+  report::CsvWriter csv(opt.csv_path, {"extension", "graph", "config",
+                                       "mteps", "levels", "migrations"});
+
+  struct Case {
+    const char* name;
+    graph::Graph g;
+    std::size_t source;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"grid 64x64", graph::make_grid_2d(opt.quick ? 16 : 64), 0});
+  {
+    auto g = graph::make_uniform_random(opt.quick ? 1000 : 16384, 16.0, 5);
+    cases.push_back({"uniform n=16k d=16", std::move(g), 0});
+  }
+  {
+    auto g = graph::make_rmat(opt.quick ? 9 : 13, 16, 5);
+    std::size_t hub = 0;
+    for (std::size_t v = 0; v < g.num_vertices; ++v) {
+      if (g.degree(v) > g.degree(hub)) hub = v;
+    }
+    cases.push_back({"rmat scale=13 ef=16", std::move(g), hub});
+  }
+
+  report::Table t("Extension: BFS (MTEPS), Emu model vs Sandy Bridge Xeon");
+  t.columns({"graph", "dir. edges", "chick_hw", "levels", "migr/edge",
+             "fullspeed", "xeon(16thr)"});
+  for (const auto& c : cases) {
+    kernels::BfsEmuParams p;
+    p.g = &c.g;
+    p.source = c.source;
+    const auto hw = kernels::run_bfs_emu(emu::SystemConfig::chick_hw(), p);
+    const auto full =
+        kernels::run_bfs_emu(emu::SystemConfig::chick_fullspeed(), p);
+    kernels::BfsXeonParams xp;
+    xp.g = &c.g;
+    xp.source = c.source;
+    xp.threads = 16;
+    const auto xr =
+        kernels::run_bfs_xeon(xeon::SystemConfig::sandy_bridge(), xp);
+    if (!hw.verified || !full.verified || !xr.verified) {
+      std::fprintf(stderr, "FAIL: BFS verification failed on %s\n", c.name);
+      return 1;
+    }
+    t.row({c.name,
+           report::Table::integer(
+               static_cast<long long>(c.g.num_directed_edges())),
+           report::Table::num(hw.mteps, 2), report::Table::integer(hw.levels),
+           report::Table::num(static_cast<double>(hw.migrations) /
+                                  static_cast<double>(c.g.num_directed_edges()),
+                              2),
+           report::Table::num(full.mteps, 2),
+           report::Table::num(xr.mteps, 2)});
+    csv.row({"bfs", c.name, "chick_hw", report::Table::num(hw.mteps, 3),
+             report::Table::integer(hw.levels),
+             report::Table::integer(static_cast<long long>(hw.migrations))});
+    csv.row({"bfs", c.name, "chick_fullspeed",
+             report::Table::num(full.mteps, 3),
+             report::Table::integer(full.levels),
+             report::Table::integer(static_cast<long long>(full.migrations))});
+  }
+  t.print();
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Figure 11: simulated pointer chasing on a full-speed 64-nodelet Emu
+// system (8 node cards, 4 Gossamer cores per nodelet at 300 MHz,
+// NCDRAM-2133).
+//
+// Paper shape: even at this scale the system stays insensitive to the
+// granularity of spatial locality (flat across block sizes, with the
+// block-1 migration-bound dip), and bandwidth keeps scaling up to
+// thousands of threads.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "kernels/chase_emu.hpp"
+#include "report/csv.hpp"
+#include "report/table.hpp"
+
+using namespace emusim;
+using kernels::ChaseEmuParams;
+
+int main(int argc, char** argv) {
+  const auto opt = bench::parse_options(argc, argv);
+  const auto cfg = emu::SystemConfig::fullspeed_multinode(8);
+  const std::size_t n = opt.quick ? (1u << 16) : (1u << 19);
+
+  report::CsvWriter csv(opt.csv_path, {"figure", "threads", "block",
+                                       "mb_per_sec", "migrations_per_element"});
+
+  const std::vector<int> thread_counts =
+      opt.quick ? std::vector<int>{512}
+                : std::vector<int>{512, 1024, 2048, 4096};
+  const std::vector<std::size_t> blocks =
+      opt.quick ? std::vector<std::size_t>{1, 64}
+                : std::vector<std::size_t>{1, 4, 16, 64, 128, 256, 512};
+
+  report::Table t(
+      "Fig 11: Pointer chasing, full-speed Emu, 64 nodelets "
+      "(chick_fullspeed x8 nodes), full_block_shuffle — MB/s");
+  {
+    std::vector<std::string> hdr = {"block"};
+    for (int th : thread_counts) hdr.push_back(std::to_string(th) + " thr");
+    t.columns(hdr);
+  }
+  for (std::size_t b : blocks) {
+    std::vector<std::string> cells = {
+        report::Table::integer(static_cast<long long>(b))};
+    for (int th : thread_counts) {
+      if (n / b < static_cast<std::size_t>(th)) {
+        cells.push_back("-");
+        continue;
+      }
+      ChaseEmuParams p;
+      p.n = n;
+      p.block = b;
+      p.threads = th;
+      const auto r = kernels::run_chase_emu(cfg, p);
+      if (!r.verified) {
+        std::fprintf(stderr, "FAIL: chase verification failed\n");
+        return 1;
+      }
+      cells.push_back(report::Table::num(r.mb_per_sec));
+      csv.row({"fig11", report::Table::integer(th),
+               report::Table::integer(static_cast<long long>(b)),
+               report::Table::num(r.mb_per_sec),
+               report::Table::num(r.migrations_per_element, 3)});
+    }
+    t.row(cells);
+  }
+  t.print();
+  return 0;
+}

@@ -1,0 +1,86 @@
+// google-benchmark microbenchmarks of the simulator itself: DES event
+// throughput, coroutine task churn, FIFO-server accounting, DRAM channel
+// accesses, and cache probes.  These bound the wall-clock cost of the
+// figure harnesses and catch performance regressions in the hot paths.
+#include <benchmark/benchmark.h>
+
+#include "mem/dram.hpp"
+#include "sim/engine.hpp"
+#include "sim/resource.hpp"
+#include "sim/task.hpp"
+#include "xeon/cache.hpp"
+
+namespace {
+
+using namespace emusim;
+
+void BM_EngineScheduleDrain(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine eng;
+    for (int i = 0; i < batch; ++i) {
+      eng.call_at(static_cast<Time>(i), [] {});
+    }
+    eng.run();
+    benchmark::DoNotOptimize(eng.events_processed());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_EngineScheduleDrain)->Arg(1024)->Arg(65536);
+
+sim::Task sleeper_task(sim::Engine& eng, int hops) {
+  for (int i = 0; i < hops; ++i) co_await eng.sleep(ns(1));
+}
+
+void BM_CoroutineHops(benchmark::State& state) {
+  const int hops = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine eng;
+    auto t = sleeper_task(eng, hops);
+    t.start();
+    eng.run();
+    benchmark::DoNotOptimize(eng.now());
+  }
+  state.SetItemsProcessed(state.iterations() * hops);
+}
+BENCHMARK(BM_CoroutineHops)->Arg(1024)->Arg(16384);
+
+void BM_FifoServerPost(benchmark::State& state) {
+  sim::Engine eng;
+  sim::FifoServer srv(eng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(srv.post(ns(5)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FifoServerPost);
+
+void BM_DramAccess(benchmark::State& state) {
+  sim::Engine eng;
+  mem::DramChannel ch(eng, mem::DramTiming::ddr3_1600());
+  std::uint64_t addr = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ch.access(addr, 64, false));
+    addr += 7919 * 64;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DramAccess);
+
+void BM_CacheLookupHit(benchmark::State& state) {
+  xeon::SetAssocCache cache(1 << 20, 16, 64);
+  for (std::uint64_t a = 0; a < (1 << 19); a += 64) {
+    cache.insert(a, 0, false);
+  }
+  std::uint64_t addr = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.lookup(addr));
+    addr = (addr + 4096) & ((1 << 19) - 1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheLookupHit);
+
+}  // namespace
+
+BENCHMARK_MAIN();

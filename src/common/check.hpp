@@ -1,0 +1,25 @@
+// Lightweight runtime checks.  These guard simulator invariants (not user
+// input); violations indicate a bug, so they abort with a location message
+// in every build type.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+#define EMUSIM_CHECK(cond)                                               \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::fprintf(stderr, "EMUSIM_CHECK failed: %s at %s:%d\n", #cond,  \
+                   __FILE__, __LINE__);                                  \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (0)
+
+#define EMUSIM_CHECK_MSG(cond, msg)                                       \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "EMUSIM_CHECK failed: %s (%s) at %s:%d\n",     \
+                   #cond, msg, __FILE__, __LINE__);                       \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)

@@ -1,0 +1,38 @@
+#include "common/units.hpp"
+
+#include <array>
+#include <cstdio>
+
+namespace emusim {
+
+std::string format_time(Time t) {
+  char buf[64];
+  const double v = static_cast<double>(t);
+  if (t < kNanosecond) {
+    std::snprintf(buf, sizeof buf, "%lld ps", static_cast<long long>(t));
+  } else if (t < kMicrosecond) {
+    std::snprintf(buf, sizeof buf, "%.2f ns", v / kNanosecond);
+  } else if (t < kMillisecond) {
+    std::snprintf(buf, sizeof buf, "%.2f us", v / kMicrosecond);
+  } else if (t < kSecond) {
+    std::snprintf(buf, sizeof buf, "%.2f ms", v / kMillisecond);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.3f s", v / kSecond);
+  }
+  return buf;
+}
+
+std::string format_bytes(double bytes) {
+  static constexpr std::array<const char*, 5> units = {"B", "KiB", "MiB",
+                                                       "GiB", "TiB"};
+  std::size_t u = 0;
+  while (bytes >= 1024.0 && u + 1 < units.size()) {
+    bytes /= 1024.0;
+    ++u;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.2f %s", bytes, units[u]);
+  return buf;
+}
+
+}  // namespace emusim

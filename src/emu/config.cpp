@@ -1,0 +1,51 @@
+#include "emu/config.hpp"
+
+namespace emusim::emu {
+
+SystemConfig SystemConfig::chick_hw() {
+  SystemConfig c;
+  c.name = "chick_hw";
+  c.nodes = 1;
+  c.nodelets_per_node = 8;
+  c.gcs_per_nodelet = 1;
+  c.gc_clock_hz = 150e6;
+  c.threadlet_slots_per_gc = 64;
+  c.dram = mem::DramTiming::ncdram_chick();
+  c.migrations_per_sec = 9e6;
+  c.migration_latency = us(1.4);
+  return c;
+}
+
+SystemConfig SystemConfig::chick_as_simulated() {
+  SystemConfig c = chick_hw();
+  c.name = "chick_as_simulated";
+  // The vendor's architectural simulator does not model the hardware
+  // migration engine's throughput ceiling (paper Fig 10: 16 M vs 9 M
+  // migrations/s) and models a shallower in-flight latency.
+  c.migrations_per_sec = 16e6;
+  c.migration_latency = us(1.0);
+  return c;
+}
+
+SystemConfig SystemConfig::chick_fullspeed() {
+  SystemConfig c;
+  c.name = "chick_fullspeed";
+  c.nodes = 1;
+  c.nodelets_per_node = 8;
+  c.gcs_per_nodelet = 4;
+  c.gc_clock_hz = 300e6;
+  c.threadlet_slots_per_gc = 64;
+  c.dram = mem::DramTiming::ncdram_fullspeed();
+  c.migrations_per_sec = 32e6;  // hardened migration engine, scaled with clock
+  c.migration_latency = us(0.7);
+  return c;
+}
+
+SystemConfig SystemConfig::fullspeed_multinode(int nodes) {
+  SystemConfig c = chick_fullspeed();
+  c.name = "fullspeed_" + std::to_string(nodes) + "node";
+  c.nodes = nodes;
+  return c;
+}
+
+}  // namespace emusim::emu

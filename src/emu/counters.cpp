@@ -1,0 +1,80 @@
+#include "emu/counters.hpp"
+
+#include <cstdio>
+
+namespace emusim::emu {
+
+std::vector<NodeletCounters> collect_counters(Machine& m, Time elapsed) {
+  std::vector<NodeletCounters> out;
+  out.reserve(static_cast<std::size_t>(m.num_nodelets()));
+  for (int d = 0; d < m.num_nodelets(); ++d) {
+    Nodelet& n = m.nodelet(d);
+    NodeletCounters c;
+    c.nodelet = d;
+    c.reads = n.stats.reads;
+    c.read_bytes = n.stats.read_bytes;
+    c.writes = n.stats.writes;
+    c.write_bytes = n.stats.write_bytes;
+    c.remote_writes_in = n.stats.remote_writes_in;
+    c.atomics_in = n.stats.atomics_in;
+    c.thread_arrivals = n.stats.thread_arrivals;
+    c.max_resident = n.stats.max_resident;
+    const auto& ch = n.channel().stats();
+    const auto accesses = ch.row_hits + ch.row_misses;
+    c.row_hit_rate = accesses ? static_cast<double>(ch.row_hits) /
+                                    static_cast<double>(accesses)
+                              : 0.0;
+    c.channel_utilization =
+        elapsed > 0 ? static_cast<double>(n.channel().bus_busy_time()) /
+                          static_cast<double>(elapsed)
+                    : 0.0;
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string counters_report(Machine& m, Time elapsed) {
+  std::string out;
+  char line[256];
+
+  std::snprintf(line, sizeof line,
+                "machine %s: elapsed %s, %llu threads (%llu remote spawns, "
+                "%llu elided), %llu migrations (%llu inter-node)\n",
+                m.cfg().name.c_str(), format_time(elapsed).c_str(),
+                static_cast<unsigned long long>(m.stats.spawns),
+                static_cast<unsigned long long>(m.stats.remote_spawns),
+                static_cast<unsigned long long>(m.stats.inline_spawns),
+                static_cast<unsigned long long>(m.stats.migrations),
+                static_cast<unsigned long long>(m.stats.internode_migrations));
+  out += line;
+  if (m.stats.migration_latency_ns.count() > 0) {
+    std::snprintf(line, sizeof line,
+                  "migration latency: mean %.2f us, p99 ~%.2f us\n",
+                  m.stats.migration_latency_ns.summary().mean() / 1e3,
+                  static_cast<double>(m.stats.migration_latency_ns.quantile(
+                      0.99)) / 1e3);
+    out += line;
+  }
+
+  std::snprintf(line, sizeof line,
+                "%-4s %10s %10s %10s %8s %8s %8s %6s %7s %6s\n", "nlet",
+                "reads", "readMB", "writes", "remwr", "atomics", "arrive",
+                "maxres", "rowhit%", "bus%");
+  out += line;
+  for (const auto& c : collect_counters(m, elapsed)) {
+    std::snprintf(
+        line, sizeof line,
+        "%-4d %10llu %10.2f %10llu %8llu %8llu %8llu %6d %7.1f %6.1f\n",
+        c.nodelet, static_cast<unsigned long long>(c.reads),
+        static_cast<double>(c.read_bytes) / 1e6,
+        static_cast<unsigned long long>(c.writes),
+        static_cast<unsigned long long>(c.remote_writes_in),
+        static_cast<unsigned long long>(c.atomics_in),
+        static_cast<unsigned long long>(c.thread_arrivals), c.max_resident,
+        100.0 * c.row_hit_rate, 100.0 * c.channel_utilization);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace emusim::emu

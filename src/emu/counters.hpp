@@ -1,0 +1,34 @@
+// Per-nodelet performance-counter report, in the spirit of the vendor
+// simulator's output (paper §III-B: "the simulator counts key performance
+// events such as the number of thread spawns, migrations, and memory
+// operations per nodelet").  Renders machine statistics after a run.
+#pragma once
+
+#include <string>
+
+#include "emu/machine.hpp"
+
+namespace emusim::emu {
+
+/// Snapshot of one nodelet's counters plus derived channel metrics.
+struct NodeletCounters {
+  int nodelet = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t read_bytes = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t write_bytes = 0;
+  std::uint64_t remote_writes_in = 0;
+  std::uint64_t atomics_in = 0;
+  std::uint64_t thread_arrivals = 0;
+  int max_resident = 0;
+  double row_hit_rate = 0.0;
+  double channel_utilization = 0.0;  ///< bus busy / elapsed
+};
+
+/// Collect counters for every nodelet; `elapsed` scales utilizations.
+std::vector<NodeletCounters> collect_counters(Machine& m, Time elapsed);
+
+/// Machine-wide summary plus the per-nodelet table, as printable text.
+std::string counters_report(Machine& m, Time elapsed);
+
+}  // namespace emusim::emu

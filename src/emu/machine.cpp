@@ -1,0 +1,76 @@
+#include "emu/machine.hpp"
+
+namespace emusim::emu {
+
+Nodelet::Nodelet(sim::Engine& eng, const SystemConfig& cfg, int index)
+    : index_(index),
+      channel_(eng, cfg.dram),
+      slots_(eng, cfg.slots_per_nodelet()) {
+  cores_.reserve(static_cast<std::size_t>(cfg.gcs_per_nodelet));
+  for (int i = 0; i < cfg.gcs_per_nodelet; ++i) cores_.emplace_back(eng);
+}
+
+std::uint64_t Nodelet::allocate(std::uint64_t bytes, std::uint64_t align) {
+  EMUSIM_CHECK(align > 0 && (align & (align - 1)) == 0);
+  brk_ = (brk_ + align - 1) & ~(align - 1);
+  const std::uint64_t addr = brk_;
+  brk_ += bytes;
+  return addr;
+}
+
+Machine::Machine(const SystemConfig& cfg)
+    : cfg_(cfg), cycle_(cfg.cycle()) {
+  EMUSIM_CHECK(cfg.nodes >= 1 && cfg.nodelets_per_node >= 1);
+  EMUSIM_CHECK(cfg.gcs_per_nodelet >= 1 && cfg.threadlet_slots_per_gc >= 1);
+  for (int n = 0; n < cfg.nodes; ++n) {
+    nodes_.emplace_back(eng_, cfg_);
+  }
+  for (int i = 0; i < cfg.total_nodelets(); ++i) {
+    nodelets_.emplace_back(eng_, cfg_, i);
+  }
+}
+
+sim::Op<> Context::atomic_fetch_remote(int nlet, std::uint64_t addr) {
+  Machine& m = *machine_;
+  Nodelet& n = m.nodelet(nlet);
+  ++n.stats.atomics_in;
+  m.trace.record(engine().now(), sim::TraceKind::remote_atomic, nlet,
+                 nodelet_);
+  // Request/response each ride the nodelet fabric (approximated by half a
+  // migration-engine latency each way) around the remote RMW.
+  const Time hop = m.cfg().migration_latency / 2;
+  co_await engine().sleep(hop);
+  n.channel().write(addr, 8);  // the remote read-modify-write
+  n.channel().write(addr, 8);
+  co_await engine().sleep(hop);
+}
+
+sim::Op<> Context::migrate_to(int dest) {
+  if (dest == nodelet_) co_return;
+  const Time t0 = engine().now();
+  Machine& m = *machine_;
+  const int src_node = m.node_index_of(nodelet_);
+  const int dst_node = m.node_index_of(dest);
+
+  depart();  // the context leaves the source threadlet slot immediately
+  ++m.stats.migrations;
+  m.trace.record(t0, sim::TraceKind::migrate_out, nodelet_, dest);
+
+  co_await m.node(src_node).migration_engine().pass();
+  if (src_node != dst_node) {
+    ++m.stats.internode_migrations;
+    const Time wire =
+        transfer_time(static_cast<double>(m.cfg().thread_context_bytes),
+                      m.cfg().internode_bytes_per_sec);
+    co_await m.node(src_node).link().access(wire);
+    co_await engine().sleep(m.cfg().internode_latency);
+    co_await m.node(dst_node).migration_engine().pass();
+  }
+  co_await m.nodelet(dest).slots().acquire();
+  arrive(dest);
+  m.trace.record(engine().now(), sim::TraceKind::migrate_in, dest, src_node);
+  m.stats.migration_latency_ns.add(
+      static_cast<std::uint64_t>((engine().now() - t0) / kNanosecond));
+}
+
+}  // namespace emusim::emu

@@ -1,0 +1,453 @@
+// The Emu machine model and threadlet runtime.
+//
+// A Machine assembles nodes, nodelets, Gossamer cores, NCDRAM channels, and
+// migration engines per a SystemConfig.  Simulated threads ("threadlets")
+// are C++20 coroutines driven by the DES engine; each carries a Context that
+// tracks which nodelet it currently occupies and provides the timed
+// operations of the programming model:
+//
+//   co_await ctx.issue(cycles)        — consume instruction issue bandwidth
+//   co_await ctx.read_local(a, n)     — blocking load from the home channel
+//   ctx.write_local(a, n)             — posted store
+//   ctx.write_remote(nlet, a, n)      — memory-side remote write (no
+//                                       migration; paper Section II)
+//   co_await ctx.migrate_to(nlet)     — move this thread's context
+//   co_await ctx.spawn(body)          — cilk_spawn (local; serial elision
+//                                       when no threadlet slot is free)
+//   co_await ctx.spawn_at(nlet, body) — remote spawn through the fabric
+//   co_await ctx.sync()               — cilk_sync (also implicit at thread
+//                                       exit)
+//
+// Modeling summary (see DESIGN.md §5): a Gossamer core is a FIFO issue
+// server shared by its resident threadlets — with many threads repeatedly
+// requesting small instruction batches, FIFO order approximates the
+// hardware's round-robin issue.  Loads block the issuing threadlet (the
+// cores are cache-less and in-order; multithreading, not ILP, covers
+// latency).  A remote read migrates the thread: it releases its threadlet
+// slot, queues on its node's migration engine (throughput cap + in-flight
+// latency), and acquires a slot at the destination.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "emu/config.hpp"
+#include "mem/dram.hpp"
+#include "sim/engine.hpp"
+#include "sim/op.hpp"
+#include "sim/resource.hpp"
+#include "sim/stats.hpp"
+#include "sim/trace.hpp"
+#include "sim/task.hpp"
+
+namespace emusim::emu {
+
+class Machine;
+class Context;
+
+/// Per-nodelet event counts, exposed for tests and reports.
+struct NodeletStats {
+  std::uint64_t reads = 0;
+  std::uint64_t read_bytes = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t write_bytes = 0;
+  std::uint64_t remote_writes_in = 0;  ///< memory-side writes landing here
+  std::uint64_t atomics_in = 0;
+  std::uint64_t thread_arrivals = 0;   ///< migrations + spawns landing here
+  int resident = 0;
+  int max_resident = 0;
+};
+
+class GossamerCore {
+ public:
+  explicit GossamerCore(sim::Engine& eng) : issue_(eng) {}
+  sim::FifoServer& issue() { return issue_; }
+
+ private:
+  sim::FifoServer issue_;
+};
+
+class Nodelet {
+ public:
+  Nodelet(sim::Engine& eng, const SystemConfig& cfg, int index);
+
+  int index() const { return index_; }
+  mem::DramChannel& channel() { return channel_; }
+  sim::Semaphore& slots() { return slots_; }
+  GossamerCore& core(int i) { return cores_[static_cast<std::size_t>(i)]; }
+  int num_cores() const { return static_cast<int>(cores_.size()); }
+  /// Round-robin core assignment for a thread arriving at this nodelet.
+  int assign_core() {
+    const int c = rr_core_;
+    rr_core_ = (rr_core_ + 1) % num_cores();
+    return c;
+  }
+
+  /// Bump-allocate local memory; returns the local byte address.  Local
+  /// addresses feed the channel's bank/row model, so allocation compactness
+  /// affects row-buffer locality just as on the real machine.
+  std::uint64_t allocate(std::uint64_t bytes, std::uint64_t align = 8);
+
+  NodeletStats stats;
+
+ private:
+  int index_;
+  std::vector<GossamerCore> cores_;
+  mem::DramChannel channel_;
+  sim::Semaphore slots_;
+  int rr_core_ = 0;
+  std::uint64_t brk_ = 0;
+};
+
+/// One node card: eight nodelets share a migration engine (the crossbar
+/// between nodelets) and a RapidIO egress link toward other nodes.
+class Node {
+ public:
+  Node(sim::Engine& eng, const SystemConfig& cfg)
+      : migration_engine_(eng, cfg.migrations_per_sec, cfg.migration_latency),
+        link_(eng) {}
+
+  sim::RateGate& migration_engine() { return migration_engine_; }
+  sim::FifoServer& link() { return link_; }
+
+ private:
+  sim::RateGate migration_engine_;
+  sim::FifoServer link_;
+};
+
+struct MachineStats {
+  std::uint64_t migrations = 0;
+  std::uint64_t internode_migrations = 0;
+  std::uint64_t spawns = 0;
+  std::uint64_t remote_spawns = 0;
+  std::uint64_t inline_spawns = 0;  ///< serial elisions (no slot free)
+  std::uint64_t threads_completed = 0;
+  sim::Log2Histogram migration_latency_ns;  ///< per-migration latency, ns
+};
+
+namespace detail {
+template <class F>
+sim::Task thread_main(Machine* m, std::unique_ptr<Context> ctx, F body);
+}
+
+class Machine {
+ public:
+  explicit Machine(const SystemConfig& cfg);
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  sim::Engine& engine() { return eng_; }
+  const SystemConfig& cfg() const { return cfg_; }
+  Time cycle() const { return cycle_; }
+
+  int num_nodelets() const { return cfg_.total_nodelets(); }
+  Nodelet& nodelet(int i) { return nodelets_[static_cast<std::size_t>(i)]; }
+  int node_index_of(int nodelet) const {
+    return nodelet / cfg_.nodelets_per_node;
+  }
+  Node& node(int i) { return nodes_[static_cast<std::size_t>(i)]; }
+  Node& node_of_nodelet(int nlet) { return node(node_index_of(nlet)); }
+
+  MachineStats stats;
+  /// Optional event trace (see sim/trace.hpp); call trace.enable() before
+  /// run_root to capture per-nodelet event streams.
+  sim::Tracer trace;
+
+  /// Launch `body` as the root threadlet on nodelet 0 and run the
+  /// simulation to completion.  Returns elapsed simulated time.
+  /// `body` is any callable (Context&) -> sim::Op<>.
+  template <class F>
+  Time run_root(F body) {
+    const Time t0 = eng_.now();
+    start_fabric_thread(/*birth=*/0, /*src=*/0, /*parent=*/nullptr,
+                        std::move(body), /*via_fabric=*/false);
+    eng_.run();
+    return eng_.now() - t0;
+  }
+
+  // --- internal spawn plumbing (used by Context) -------------------------
+
+  /// Try to start a thread on `birth` with a pre-acquired slot (local
+  /// cilk_spawn).  Returns false if no slot is free — the caller performs
+  /// serial elision.
+  template <class F>
+  bool try_start_local_thread(int birth, Context* parent, const F& body);
+
+  /// Start a thread whose spawn packet traverses the fabric (remote spawn)
+  /// or that may wait for a slot (root).  Never fails; the thread queues on
+  /// the destination's slot semaphore.
+  template <class F>
+  void start_fabric_thread(int birth, int src, Context* parent, F body,
+                           bool via_fabric = true);
+
+ private:
+  template <class F>
+  friend sim::Task detail::thread_main(Machine*, std::unique_ptr<Context>, F);
+
+  SystemConfig cfg_;
+  sim::Engine eng_;
+  Time cycle_;
+  std::deque<Nodelet> nodelets_;
+  std::deque<Node> nodes_;
+};
+
+/// Per-threadlet state and the timed-operation API.  Created by the spawn
+/// machinery; kernels receive it by reference and must not store it beyond
+/// the kernel's lifetime.
+class Context {
+ public:
+  Context(Machine& m, Context* parent, int birth, bool via_fabric, int src,
+          bool has_slot)
+      : machine_(&m),
+        parent_(parent),
+        birth_nodelet_(birth),
+        src_nodelet_(src),
+        via_fabric_(via_fabric),
+        has_slot_at_birth_(has_slot) {}
+
+  Machine& machine() { return *machine_; }
+  sim::Engine& engine() { return machine_->engine(); }
+  const SystemConfig& cfg() const { return machine_->cfg(); }
+  int nodelet() const { return nodelet_; }
+
+  /// Awaitable: execute `cycles` instructions on this thread's core.
+  ///
+  /// The Gossamer core is a fine-grained multithreaded (barrel) core: it
+  /// rotates issue slots round-robin over its resident threadlets, so one
+  /// thread's batch of k instructions takes ~k * resident cycles of wall
+  /// time while the core itself retires work at full rate.  We model that
+  /// by accounting the true work (k cycles) on the core's FIFO issue server
+  /// — preserving aggregate issue bandwidth — and delaying this thread's
+  /// resumption by the additional (resident-1) * k cycles it spends waiting
+  /// for its rotation slots.
+  auto issue(std::uint64_t cycles) {
+    struct Awaiter {
+      sim::FifoServer& srv;
+      sim::Engine& eng;
+      Time work;
+      Time rotation_wait;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        const Time depart = srv.post(work);
+        eng.schedule(depart + rotation_wait, h);
+      }
+      void await_resume() const noexcept {}
+    };
+    Nodelet& n = machine_->nodelet(nodelet_);
+    const Time work = static_cast<Time>(cycles) * machine_->cycle();
+    // Residents split across this nodelet's cores; each core rotates over
+    // its own share.
+    const int per_core =
+        (n.stats.resident + n.num_cores() - 1) / n.num_cores();
+    const int competitors = per_core > 1 ? per_core : 1;
+    return Awaiter{n.core(core_).issue(), machine_->engine(), work,
+                   work * (competitors - 1)};
+  }
+
+  /// Awaitable: blocking load of `bytes` at local address `addr` on the
+  /// current nodelet's channel.  The caller must already be co-located with
+  /// the data (migrate first; see load helpers in the views).
+  auto read_local(std::uint64_t addr, std::uint32_t bytes) {
+    Nodelet& n = machine_->nodelet(nodelet_);
+    ++n.stats.reads;
+    n.stats.read_bytes += bytes;
+    machine_->trace.record(engine().now(), sim::TraceKind::mem_read,
+                           nodelet_, -1, bytes);
+    return n.channel().read(addr, bytes);
+  }
+
+  /// Posted store to the current nodelet (not on the critical path).
+  void write_local(std::uint64_t addr, std::uint32_t bytes) {
+    Nodelet& n = machine_->nodelet(nodelet_);
+    ++n.stats.writes;
+    n.stats.write_bytes += bytes;
+    machine_->trace.record(engine().now(), sim::TraceKind::mem_write,
+                           nodelet_, -1, bytes);
+    n.channel().write(addr, bytes);
+  }
+
+  /// Memory-side remote write: the value travels to the remote nodelet's
+  /// memory-side processor; the thread does not migrate and does not wait.
+  void write_remote(int nlet, std::uint64_t addr, std::uint32_t bytes) {
+    Nodelet& n = machine_->nodelet(nlet);
+    ++n.stats.writes;
+    ++n.stats.remote_writes_in;
+    n.stats.write_bytes += bytes;
+    machine_->trace.record(engine().now(), sim::TraceKind::mem_write, nlet,
+                           nodelet_, bytes);
+    n.channel().write(addr, bytes);
+  }
+
+  /// Memory-side remote atomic (e.g. remote add).  Posted; occupies the
+  /// remote channel for a read-modify-write.
+  void atomic_remote(int nlet, std::uint64_t addr) {
+    Nodelet& n = machine_->nodelet(nlet);
+    ++n.stats.atomics_in;
+    machine_->trace.record(engine().now(), sim::TraceKind::remote_atomic,
+                           nlet, nodelet_);
+    n.channel().write(addr, 8);  // RMW occupies roughly one word access
+    n.channel().write(addr, 8);
+  }
+
+  /// Memory-side remote atomic *with* a returned value (fetch-add style):
+  /// the request travels to the remote memory-side processor, performs the
+  /// read-modify-write there, and the thread blocks for the round trip —
+  /// still far cheaper than migrating there and back.
+  sim::Op<> atomic_fetch_remote(int nlet, std::uint64_t addr);
+
+  /// Migrate this thread to nodelet `dest` (no-op when already there).
+  sim::Op<> migrate_to(int dest);
+
+  /// cilk_spawn: start `body` as a new threadlet on the current nodelet.
+  /// When every threadlet slot is taken the spawn elides to a serial call,
+  /// matching Cilk semantics (and avoiding slot-exhaustion deadlock).
+  template <class F>
+  sim::Op<> spawn(F body) {
+    co_await issue(static_cast<std::uint64_t>(cfg().spawn_issue_cycles));
+    if (machine_->try_start_local_thread(nodelet_, this, body)) co_return;
+    ++machine_->stats.inline_spawns;
+    co_await issue(static_cast<std::uint64_t>(cfg().thread_startup_cycles));
+    co_await body(*this);
+  }
+
+  /// Remote spawn: the spawn packet traverses the migration fabric and the
+  /// child begins life on nodelet `dest`.
+  template <class F>
+  sim::Op<> spawn_at(int dest, F body) {
+    co_await issue(static_cast<std::uint64_t>(cfg().spawn_issue_cycles));
+    machine_->start_fabric_thread(dest, nodelet_, this, std::move(body));
+  }
+
+  /// cilk_sync: wait until all threads spawned by this context finish.
+  auto sync() {
+    struct Awaiter {
+      Context& ctx;
+      bool await_ready() const noexcept { return ctx.live_children_ == 0; }
+      void await_suspend(std::coroutine_handle<> h) { ctx.sync_waiter_ = h; }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+  int live_children() const { return live_children_; }
+
+ private:
+  template <class F>
+  friend sim::Task detail::thread_main(Machine*, std::unique_ptr<Context>, F);
+  friend class Machine;
+
+  void arrive(int nlet) {
+    nodelet_ = nlet;
+    Nodelet& n = machine_->nodelet(nlet);
+    core_ = n.assign_core();
+    ++n.stats.thread_arrivals;
+    ++n.stats.resident;
+    n.stats.max_resident = std::max(n.stats.max_resident, n.stats.resident);
+  }
+
+  void depart() {
+    Nodelet& n = machine_->nodelet(nodelet_);
+    --n.stats.resident;
+    n.slots().release();
+  }
+
+  void child_done() {
+    --live_children_;
+    if (live_children_ == 0 && sync_waiter_) {
+      auto h = std::exchange(sync_waiter_, {});
+      machine_->engine().schedule(machine_->engine().now(), h);
+    }
+  }
+
+  Machine* machine_;
+  Context* parent_;
+  int nodelet_ = -1;
+  int core_ = 0;
+  int birth_nodelet_;
+  int src_nodelet_;
+  bool via_fabric_;
+  bool has_slot_at_birth_;
+  int live_children_ = 0;
+  std::coroutine_handle<> sync_waiter_;
+};
+
+namespace detail {
+
+/// The wrapper coroutine that hosts one threadlet: deliver the spawn packet,
+/// take a slot, pay startup cost, run the kernel body, implicit cilk_sync,
+/// release the slot.  The completion hook (installed by the spawner) then
+/// notifies the parent.
+template <class F>
+sim::Task thread_main(Machine* m, std::unique_ptr<Context> ctx, F body) {
+  Context& c = *ctx;
+  if (c.via_fabric_) {
+    const int src_node = m->node_index_of(c.src_nodelet_);
+    const int dst_node = m->node_index_of(c.birth_nodelet_);
+    co_await m->node(src_node).migration_engine().pass();
+    if (src_node != dst_node) {
+      const Time wire = transfer_time(
+          static_cast<double>(m->cfg().thread_context_bytes),
+          m->cfg().internode_bytes_per_sec);
+      co_await m->node(src_node).link().access(wire);
+      co_await m->engine().sleep(m->cfg().internode_latency);
+      co_await m->node(dst_node).migration_engine().pass();
+    }
+  }
+  if (!c.has_slot_at_birth_) {
+    co_await m->nodelet(c.birth_nodelet_).slots().acquire();
+  }
+  c.arrive(c.birth_nodelet_);
+  m->trace.record(m->engine().now(), sim::TraceKind::thread_start,
+                  c.birth_nodelet_);
+  co_await c.issue(static_cast<std::uint64_t>(m->cfg().thread_startup_cycles));
+  co_await body(c);
+  co_await c.sync();  // implicit cilk_sync at thread exit
+  m->trace.record(m->engine().now(), sim::TraceKind::thread_end, c.nodelet_);
+  c.depart();
+}
+
+}  // namespace detail
+
+template <class F>
+bool Machine::try_start_local_thread(int birth, Context* parent,
+                                     const F& body) {
+  if (!nodelet(birth).slots().try_acquire()) return false;
+  ++stats.spawns;
+  trace.record(eng_.now(), sim::TraceKind::thread_spawn, birth,
+               parent ? parent->nodelet_ : -1);
+  if (parent) ++parent->live_children_;
+  auto ctx = std::make_unique<Context>(*this, parent, birth,
+                                       /*via_fabric=*/false, birth,
+                                       /*has_slot=*/true);
+  auto task = detail::thread_main(this, std::move(ctx), body);
+  task.on_complete([this, parent] {
+    ++stats.threads_completed;
+    if (parent) parent->child_done();
+  });
+  task.start();
+  return true;
+}
+
+template <class F>
+void Machine::start_fabric_thread(int birth, int src, Context* parent, F body,
+                                  bool via_fabric) {
+  ++stats.spawns;
+  if (via_fabric) ++stats.remote_spawns;
+  trace.record(eng_.now(), sim::TraceKind::thread_spawn, birth,
+               parent ? parent->nodelet_ : -1);
+  if (parent) ++parent->live_children_;
+  auto ctx = std::make_unique<Context>(*this, parent, birth, via_fabric, src,
+                                       /*has_slot=*/false);
+  auto task = detail::thread_main(this, std::move(ctx), std::move(body));
+  task.on_complete([this, parent] {
+    ++stats.threads_completed;
+    if (parent) parent->child_done();
+  });
+  task.start();
+}
+
+}  // namespace emusim::emu

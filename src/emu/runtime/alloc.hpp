@@ -1,0 +1,208 @@
+// Distributed allocation views over the Emu global address space.
+//
+// The Emu toolchain exposes placement through its malloc family; each view
+// here models one of those allocators, owns host backing storage for the
+// functional values, and reserves local address ranges on the owning
+// nodelets so channel-level row/bank locality is realistic:
+//
+//   Striped1D<T>  — mw_malloc1dlong: element- (block=1) or block-granular
+//                   round-robin striping across all nodelets.
+//   LocalArray<T> — mw_localmalloc: contiguous on a single nodelet.
+//   Replicated<T> — mw_replicated: one copy per nodelet; reads are always
+//                   local and never migrate (used for SpMV's x vector).
+//   Chunked<T>    — the paper's custom two-stage "2D" allocation: explicit
+//                   per-nodelet chunks (e.g. the rows assigned to a nodelet).
+//
+// Views provide address/home mapping for the timed path and plain element
+// access for the functional path.  Hot kernels use the mapping directly:
+//
+//   const int h = view.home(i);
+//   if (h != ctx.nodelet()) co_await ctx.migrate_to(h);
+//   co_await ctx.read_local(view.byte_addr(i), sizeof(T));
+//   use(view[i]);
+//
+// The `load` convenience coroutine bundles those steps for cold paths.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hpp"
+#include "emu/machine.hpp"
+#include "sim/op.hpp"
+
+namespace emusim::emu {
+
+template <class T>
+class Striped1D {
+ public:
+  /// Stripe `n` elements across the first `across` nodelets of `m` (0 =
+  /// all), `block` elements at a time.  block=1 reproduces mw_malloc1dlong's
+  /// word-granular striping; across=1 degenerates to a local allocation on
+  /// nodelet 0 (used for single-nodelet experiments).
+  Striped1D(Machine& m, std::size_t n, std::size_t block = 1, int across = 0)
+      : n_(n), block_(block),
+        nlets_(static_cast<std::size_t>(across > 0 ? across
+                                                   : m.num_nodelets())),
+        host_(n) {
+    EMUSIM_CHECK(block_ >= 1);
+    EMUSIM_CHECK(nlets_ <= static_cast<std::size_t>(m.num_nodelets()));
+    base_.reserve(nlets_);
+    for (std::size_t d = 0; d < nlets_; ++d) {
+      const std::uint64_t bytes = elems_on(static_cast<int>(d)) * sizeof(T);
+      base_.push_back(m.nodelet(static_cast<int>(d))
+                          .allocate(bytes ? bytes : sizeof(T), alignof(T)));
+    }
+  }
+
+  std::size_t size() const { return n_; }
+  std::size_t block() const { return block_; }
+  std::uint64_t bytes() const { return n_ * sizeof(T); }
+
+  int home(std::size_t i) const {
+    return static_cast<int>((i / block_) % nlets_);
+  }
+
+  std::uint64_t byte_addr(std::size_t i) const {
+    const std::size_t blk = i / block_;
+    const std::size_t local_elem = (blk / nlets_) * block_ + i % block_;
+    return base_[(i / block_) % nlets_] + local_elem * sizeof(T);
+  }
+
+  T& operator[](std::size_t i) { return host_[i]; }
+  const T& operator[](std::size_t i) const { return host_[i]; }
+
+  /// Number of elements homed on nodelet `nlet`.
+  std::size_t elems_on(int nlet) const {
+    const auto d = static_cast<std::size_t>(nlet);
+    const std::size_t full_blocks = n_ / block_;
+    const std::size_t tail = n_ % block_;
+    std::size_t elems = (full_blocks / nlets_) * block_;
+    const std::size_t rem = full_blocks % nlets_;
+    if (d < rem) elems += block_;
+    if (tail && full_blocks % nlets_ == d) elems += tail;
+    return elems;
+  }
+
+  /// Global index of the k-th element homed on nodelet `nlet`.
+  std::size_t global_index(int nlet, std::size_t k) const {
+    const std::size_t lb = k / block_;
+    const std::size_t blk = lb * nlets_ + static_cast<std::size_t>(nlet);
+    return blk * block_ + k % block_;
+  }
+
+  /// Convenience timed load: migrate to the element's home if needed, then
+  /// read it.  Allocates a coroutine frame — use the manual pattern in hot
+  /// kernels.
+  sim::Op<T> load(Context& ctx, std::size_t i) {
+    const int h = home(i);
+    if (h != ctx.nodelet()) co_await ctx.migrate_to(h);
+    co_await ctx.read_local(byte_addr(i), sizeof(T));
+    co_return host_[i];
+  }
+
+ private:
+  std::size_t n_;
+  std::size_t block_;
+  std::size_t nlets_;
+  std::vector<T> host_;
+  std::vector<std::uint64_t> base_;
+};
+
+template <class T>
+class LocalArray {
+ public:
+  LocalArray(Machine& m, std::size_t n, int nodelet)
+      : nodelet_(nodelet), host_(n),
+        base_(m.nodelet(nodelet).allocate(n ? n * sizeof(T) : sizeof(T),
+                                          alignof(T))) {}
+
+  std::size_t size() const { return host_.size(); }
+  std::uint64_t bytes() const { return host_.size() * sizeof(T); }
+  int home(std::size_t) const { return nodelet_; }
+  int home() const { return nodelet_; }
+  std::uint64_t byte_addr(std::size_t i) const { return base_ + i * sizeof(T); }
+  T& operator[](std::size_t i) { return host_[i]; }
+  const T& operator[](std::size_t i) const { return host_[i]; }
+
+  sim::Op<T> load(Context& ctx, std::size_t i) {
+    if (nodelet_ != ctx.nodelet()) co_await ctx.migrate_to(nodelet_);
+    co_await ctx.read_local(byte_addr(i), sizeof(T));
+    co_return host_[i];
+  }
+
+ private:
+  int nodelet_;
+  std::vector<T> host_;
+  std::uint64_t base_;
+};
+
+template <class T>
+class Replicated {
+ public:
+  Replicated(Machine& m, std::size_t n) : host_(n) {
+    const int nlets = m.num_nodelets();
+    base_.reserve(static_cast<std::size_t>(nlets));
+    for (int d = 0; d < nlets; ++d) {
+      base_.push_back(
+          m.nodelet(d).allocate(n ? n * sizeof(T) : sizeof(T), alignof(T)));
+    }
+  }
+
+  std::size_t size() const { return host_.size(); }
+  /// Address of element i in the copy local to `nlet`.
+  std::uint64_t byte_addr_on(int nlet, std::size_t i) const {
+    return base_[static_cast<std::size_t>(nlet)] + i * sizeof(T);
+  }
+  T& operator[](std::size_t i) { return host_[i]; }
+  const T& operator[](std::size_t i) const { return host_[i]; }
+
+  /// Timed read of the local replica: never migrates.
+  auto read(Context& ctx, std::size_t i) {
+    return ctx.read_local(byte_addr_on(ctx.nodelet(), i), sizeof(T));
+  }
+
+ private:
+  std::vector<T> host_;
+  std::vector<std::uint64_t> base_;
+};
+
+/// Explicit per-nodelet chunks (the paper's custom two-stage 2D layout for
+/// SpMV: each nodelet holds the values/indices of the rows assigned to it).
+template <class T>
+class Chunked {
+ public:
+  Chunked(Machine& m, const std::vector<std::size_t>& counts) {
+    EMUSIM_CHECK(counts.size() ==
+                 static_cast<std::size_t>(m.num_nodelets()));
+    host_.reserve(counts.size());
+    base_.reserve(counts.size());
+    for (std::size_t d = 0; d < counts.size(); ++d) {
+      host_.emplace_back(counts[d]);
+      base_.push_back(m.nodelet(static_cast<int>(d))
+                          .allocate(counts[d] ? counts[d] * sizeof(T)
+                                              : sizeof(T),
+                                    alignof(T)));
+    }
+  }
+
+  std::size_t chunk_size(int nlet) const {
+    return host_[static_cast<std::size_t>(nlet)].size();
+  }
+  int home(int nlet) const { return nlet; }
+  std::uint64_t byte_addr(int nlet, std::size_t i) const {
+    return base_[static_cast<std::size_t>(nlet)] + i * sizeof(T);
+  }
+  T& at(int nlet, std::size_t i) {
+    return host_[static_cast<std::size_t>(nlet)][i];
+  }
+  const T& at(int nlet, std::size_t i) const {
+    return host_[static_cast<std::size_t>(nlet)][i];
+  }
+
+ private:
+  std::vector<std::vector<T>> host_;
+  std::vector<std::uint64_t> base_;
+};
+
+}  // namespace emusim::emu

@@ -1,0 +1,141 @@
+// Higher-level parallel constructs over the threadlet runtime.
+//
+// The Chick's 17.11 toolchain lacked cilk_for and Cilk reducers (paper
+// §III-A), and §V anticipates "higher-level memory allocation constructs"
+// on top of the malloc family.  This header provides both as a library —
+// the forms the paper's own benchmarks hand-rolled:
+//
+//   parallel_apply      — cilk_for over an index range: a local recursive
+//                         spawn tree down to a grain, spawn-left/iterate-
+//                         right so live internal frames stay bounded.
+//   on_each_nodelet     — remote-spawn tree placing one leader per nodelet
+//                         (the "smart spawn" of §IV-A).
+//   for_each_home       — distributed for-each over a striped view: leaders
+//                         per nodelet, each applying a local spawn tree to
+//                         the elements homed there; bodies never migrate.
+//   SumReducer<T>       — a reducer hyperobject: per-nodelet partials
+//                         updated locally, combined once at the end.
+#pragma once
+
+#include <cstdint>
+
+#include "emu/machine.hpp"
+#include "emu/runtime/alloc.hpp"
+
+namespace emusim::emu {
+
+namespace detail {
+
+template <class F>
+sim::Op<> apply_leaf(Context& ctx, std::size_t lo, std::size_t hi, F body) {
+  for (std::size_t i = lo; i < hi; ++i) {
+    co_await body(ctx, i);
+  }
+}
+
+}  // namespace detail
+
+/// cilk_for equivalent: apply `body(ctx, i)` for every i in [lo, hi),
+/// spawning subtrees until ranges shrink to `grain`.  The caller's context
+/// runs part of the work itself (and syncs before returning).
+template <class F>
+sim::Op<> parallel_apply(Context& ctx, std::size_t lo, std::size_t hi,
+                         std::size_t grain, F body) {
+  if (grain < 1) grain = 1;
+  while (hi - lo > grain) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    co_await ctx.spawn([mid, hi, grain, body](Context& c) {
+      return parallel_apply(c, mid, hi, grain, body);
+    });
+    hi = mid;
+  }
+  co_await detail::apply_leaf(ctx, lo, hi, body);
+  co_await ctx.sync();
+}
+
+/// Remote-spawn tree: run `body(ctx)` once on every nodelet, with the
+/// spawn packets fanning out through the fabric instead of serializing at
+/// the caller.  Completes when every leader (and its children) finish.
+template <class F>
+sim::Op<> on_each_nodelet(Context& ctx, F body) {
+  struct Rec {
+    static sim::Op<> go(Context& c, int dlo, int dhi, F body) {
+      while (dhi - dlo > 1) {
+        const int mid = dlo + (dhi - dlo) / 2;
+        co_await c.spawn_at(mid, [mid, dhi, body](Context& t) {
+          return Rec::go(t, mid, dhi, body);
+        });
+        dhi = mid;
+      }
+      co_await body(c);
+      co_await c.sync();
+    }
+  };
+  const int n = ctx.machine().num_nodelets();
+  co_await ctx.spawn_at(0, [n, body](Context& c) {
+    return Rec::go(c, 0, n, body);
+  });
+  co_await ctx.sync();
+}
+
+/// Distributed for-each over a striped view: one leader per nodelet applies
+/// `body(ctx, global_index)` to every element homed there via a local spawn
+/// tree of `grain`-sized leaves.  With per-element work that touches only
+/// view[global_index], bodies never migrate.
+template <class T, class F>
+sim::Op<> for_each_home(Context& ctx, Striped1D<T>* view, std::size_t grain,
+                        F body) {
+  co_await on_each_nodelet(ctx, [view, grain, body](Context& c) -> sim::Op<> {
+    const int d = c.nodelet();
+    const std::size_t local = view->elems_on(d);
+    co_await parallel_apply(
+        c, 0, local, grain,
+        [view, d, body](Context& t, std::size_t k) -> sim::Op<> {
+          co_await body(t, view->global_index(d, k));
+        });
+  });
+}
+
+/// Reducer hyperobject for commutative sums (the Cilk reducer the 17.11
+/// toolchain lacked).  Each add() updates the partial on the calling
+/// thread's current nodelet — a local memory operation, no contention, no
+/// migration.  reduce() visits the partials once.
+template <class T>
+class SumReducer {
+ public:
+  explicit SumReducer(Machine& m)
+      : partials_(m, 1), values_(static_cast<std::size_t>(m.num_nodelets()),
+                                 T{}) {}
+
+  /// Add `v` into the local partial (posted local read-modify-write).
+  void add(Context& ctx, T v) {
+    values_[static_cast<std::size_t>(ctx.nodelet())] += v;
+    ctx.write_local(partials_.byte_addr_on(ctx.nodelet(), 0), sizeof(T));
+  }
+
+  /// Combine all partials: the calling thread reads each nodelet's partial
+  /// through the normal migratory path and returns the total.
+  sim::Op<T> reduce(Context& ctx) {
+    T total{};
+    const int n = ctx.machine().num_nodelets();
+    for (int d = 0; d < n; ++d) {
+      if (d != ctx.nodelet()) co_await ctx.migrate_to(d);
+      co_await ctx.read_local(partials_.byte_addr_on(d, 0), sizeof(T));
+      total += values_[static_cast<std::size_t>(d)];
+    }
+    co_return total;
+  }
+
+  /// Host-side total (no timing); valid once the machine is idle.
+  T value_unsynchronized() const {
+    T total{};
+    for (const auto& v : values_) total += v;
+    return total;
+  }
+
+ private:
+  Replicated<T> partials_;  ///< one timed slot per nodelet
+  std::vector<T> values_;   ///< functional partial per nodelet
+};
+
+}  // namespace emusim::emu

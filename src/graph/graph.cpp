@@ -1,0 +1,153 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/check.hpp"
+#include "sim/random.hpp"
+
+namespace emusim::graph {
+
+namespace {
+
+/// Build CSR from an edge list, symmetrizing, deduplicating, and dropping
+/// self loops.
+Graph from_edges(std::size_t num_vertices,
+                 std::vector<std::pair<std::uint32_t, std::uint32_t>> edges) {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> sym;
+  sym.reserve(edges.size() * 2);
+  for (auto [u, v] : edges) {
+    if (u == v) continue;
+    sym.emplace_back(u, v);
+    sym.emplace_back(v, u);
+  }
+  std::sort(sym.begin(), sym.end());
+  sym.erase(std::unique(sym.begin(), sym.end()), sym.end());
+
+  Graph g;
+  g.num_vertices = num_vertices;
+  g.row_ptr.assign(num_vertices + 1, 0);
+  for (auto [u, v] : sym) {
+    ++g.row_ptr[u + 1];
+    (void)v;
+  }
+  for (std::size_t i = 1; i <= num_vertices; ++i) {
+    g.row_ptr[i] += g.row_ptr[i - 1];
+  }
+  g.adj.resize(sym.size());
+  std::vector<std::int64_t> fill(g.row_ptr.begin(), g.row_ptr.end() - 1);
+  for (auto [u, v] : sym) {
+    g.adj[static_cast<std::size_t>(fill[u]++)] = v;
+  }
+  return g;
+}
+
+}  // namespace
+
+Graph make_grid_2d(std::size_t n) {
+  EMUSIM_CHECK(n >= 1);
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  edges.reserve(2 * n * n);
+  auto id = [n](std::size_t i, std::size_t j) {
+    return static_cast<std::uint32_t>(i * n + j);
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j + 1 < n) edges.emplace_back(id(i, j), id(i, j + 1));
+      if (i + 1 < n) edges.emplace_back(id(i, j), id(i + 1, j));
+    }
+  }
+  return from_edges(n * n, std::move(edges));
+}
+
+Graph make_uniform_random(std::size_t num_vertices, double avg_degree,
+                          std::uint64_t seed) {
+  EMUSIM_CHECK(num_vertices >= 2);
+  sim::Rng rng(seed);
+  const auto num_edges =
+      static_cast<std::size_t>(avg_degree * static_cast<double>(num_vertices) /
+                               2.0);
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  edges.reserve(num_edges);
+  for (std::size_t e = 0; e < num_edges; ++e) {
+    edges.emplace_back(static_cast<std::uint32_t>(rng.below(num_vertices)),
+                       static_cast<std::uint32_t>(rng.below(num_vertices)));
+  }
+  return from_edges(num_vertices, std::move(edges));
+}
+
+Graph make_rmat(int scale, int edge_factor, std::uint64_t seed) {
+  EMUSIM_CHECK(scale >= 1 && scale < 31);
+  sim::Rng rng(seed);
+  const std::size_t n = std::size_t{1} << scale;
+  const std::size_t m = n * static_cast<std::size_t>(edge_factor);
+  constexpr double kA = 0.57, kB = 0.19, kC = 0.19;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  edges.reserve(m);
+  for (std::size_t e = 0; e < m; ++e) {
+    std::uint32_t u = 0, v = 0;
+    for (int bit = 0; bit < scale; ++bit) {
+      const double r = rng.uniform();
+      u <<= 1;
+      v <<= 1;
+      if (r < kA) {
+        // top-left quadrant: no bits set
+      } else if (r < kA + kB) {
+        v |= 1;
+      } else if (r < kA + kB + kC) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    edges.emplace_back(u, v);
+  }
+  return from_edges(n, std::move(edges));
+}
+
+std::vector<std::uint32_t> bfs_reference(const Graph& g, std::size_t source) {
+  std::vector<std::uint32_t> dist(g.num_vertices, kBfsUnreached);
+  std::deque<std::uint32_t> queue;
+  dist[source] = 0;
+  queue.push_back(static_cast<std::uint32_t>(source));
+  while (!queue.empty()) {
+    const std::uint32_t u = queue.front();
+    queue.pop_front();
+    for (auto k = g.row_ptr[u]; k < g.row_ptr[u + 1]; ++k) {
+      const std::uint32_t v = g.adj[static_cast<std::size_t>(k)];
+      if (dist[v] == kBfsUnreached) {
+        dist[v] = dist[u] + 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  return dist;
+}
+
+bool validate(const Graph& g) {
+  if (g.row_ptr.size() != g.num_vertices + 1) return false;
+  if (g.row_ptr.front() != 0) return false;
+  if (static_cast<std::size_t>(g.row_ptr.back()) != g.adj.size()) return false;
+  for (std::size_t u = 0; u < g.num_vertices; ++u) {
+    if (g.row_ptr[u] > g.row_ptr[u + 1]) return false;
+    for (auto k = g.row_ptr[u]; k < g.row_ptr[u + 1]; ++k) {
+      const std::uint32_t v = g.adj[static_cast<std::size_t>(k)];
+      if (v >= g.num_vertices) return false;
+      if (v == u) return false;  // no self loops
+      if (k > g.row_ptr[u] &&
+          g.adj[static_cast<std::size_t>(k - 1)] >= v) {
+        return false;  // sorted, no duplicates
+      }
+      // symmetric: find u in v's list
+      const auto* lo = g.adj.data() + g.row_ptr[v];
+      const auto* hi = g.adj.data() + g.row_ptr[v + 1];
+      if (!std::binary_search(lo, hi, static_cast<std::uint32_t>(u))) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace emusim::graph

@@ -1,0 +1,50 @@
+// Graph substrate for the streaming-graph motivating application (paper
+// §I: STINGER).  CSR adjacency, deterministic generators, and a serial BFS
+// reference used to verify the parallel machine kernels.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace emusim::graph {
+
+/// Undirected graph in CSR form (each edge appears in both adjacency
+/// lists).  Vertex ids are dense [0, num_vertices).
+struct Graph {
+  std::size_t num_vertices = 0;
+  std::vector<std::int64_t> row_ptr;  ///< num_vertices + 1
+  std::vector<std::uint32_t> adj;     ///< concatenated adjacency lists
+
+  std::size_t num_directed_edges() const { return adj.size(); }
+  std::size_t degree(std::size_t v) const {
+    return static_cast<std::size_t>(row_ptr[v + 1] - row_ptr[v]);
+  }
+};
+
+/// 2-D grid graph of side `n` (4-neighbour connectivity): diameter 2(n-1),
+/// a deep, low-degree BFS workload.
+Graph make_grid_2d(std::size_t n);
+
+/// Uniform random graph: `num_vertices` vertices, `avg_degree` expected
+/// degree, deterministic in `seed`.  Duplicate edges and self loops are
+/// dropped; the result is connected-ish but not guaranteed connected.
+Graph make_uniform_random(std::size_t num_vertices, double avg_degree,
+                          std::uint64_t seed);
+
+/// RMAT-style scale-free graph (a=0.57, b=c=0.19): 2^scale vertices,
+/// edge_factor * 2^scale undirected edges before dedup.  The skewed degree
+/// distribution is the hard case for load balance.
+Graph make_rmat(int scale, int edge_factor, std::uint64_t seed);
+
+inline constexpr std::uint32_t kBfsUnreached = ~std::uint32_t{0};
+
+/// Serial reference BFS: distance (in hops) from `source` for every vertex,
+/// kBfsUnreached where unreachable.
+std::vector<std::uint32_t> bfs_reference(const Graph& g, std::size_t source);
+
+/// Structural sanity check used by generators and tests: sorted adjacency,
+/// in-range ids, symmetric edges, no self loops.  Returns false with no
+/// diagnostics (tests assert on the pieces).
+bool validate(const Graph& g);
+
+}  // namespace emusim::graph

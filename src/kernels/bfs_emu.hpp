@@ -1,0 +1,36 @@
+// Level-synchronous BFS on the Emu machine model — the streaming-graph
+// motivating application (paper §I) built on the paper's own layout
+// lessons: adjacency lists live with their vertex (2D-style chunking),
+// distances are word-striped, frontiers are per-nodelet local queues, and
+// every edge relaxation migrates to the neighbour's home nodelet to test
+// and claim it (reads migrate; there is no remote read).
+#pragma once
+
+#include "common/units.hpp"
+#include "emu/config.hpp"
+#include "graph/graph.hpp"
+
+namespace emusim::kernels {
+
+struct BfsEmuParams {
+  const graph::Graph* g = nullptr;
+  std::size_t source = 0;
+  /// Frontier vertices per spawned task on each nodelet.
+  std::size_t grain = 8;
+};
+
+struct BfsEmuResult {
+  double mteps = 0.0;  ///< millions of directed edges relaxed per second
+  Time elapsed = 0;
+  std::uint64_t migrations = 0;
+  int levels = 0;
+  bool verified = false;  ///< distances match the serial reference
+};
+
+/// Issue cost per relaxed edge and per frontier vertex.
+inline constexpr std::uint64_t kBfsCyclesPerEdge = 14;
+inline constexpr std::uint64_t kBfsCyclesPerVertex = 30;
+
+BfsEmuResult run_bfs_emu(const emu::SystemConfig& cfg, const BfsEmuParams& p);
+
+}  // namespace emusim::kernels

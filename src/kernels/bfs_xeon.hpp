@@ -1,0 +1,35 @@
+// Level-synchronous BFS on the Xeon model, completing the cross-platform
+// story for the streaming-graph motivation: frontier chunks run through the
+// task pool; edge relaxations are random 4-byte reads into the distance
+// array — exactly the cache-line-wasting access pattern the paper's
+// pointer-chase benchmark distills.
+#pragma once
+
+#include "common/units.hpp"
+#include "graph/graph.hpp"
+#include "xeon/config.hpp"
+
+namespace emusim::kernels {
+
+struct BfsXeonParams {
+  const graph::Graph* g = nullptr;
+  std::size_t source = 0;
+  int threads = 16;
+  std::size_t chunk = 64;  ///< frontier vertices per task
+};
+
+struct BfsXeonResult {
+  double mteps = 0.0;
+  Time elapsed = 0;
+  int levels = 0;
+  double llc_hit_rate = 0.0;
+  bool verified = false;
+};
+
+inline constexpr std::uint64_t kBfsXeonCyclesPerEdge = 6;
+inline constexpr std::uint64_t kBfsXeonCyclesPerVertex = 12;
+
+BfsXeonResult run_bfs_xeon(const xeon::SystemConfig& cfg,
+                           const BfsXeonParams& p);
+
+}  // namespace emusim::kernels

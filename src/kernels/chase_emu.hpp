@@ -1,0 +1,42 @@
+// Pointer chasing on the Emu machine model (paper Figs 6, 8, 10, 11).
+//
+// Blocks are striped block-cyclically across the nodelets, so a block is
+// contiguous within one nodelet's channel.  Traversal within a block never
+// migrates regardless of intra-block shuffling (Emu's 8 B access granularity
+// makes random access within a channel free of penalty); following the
+// chain into the next block migrates whenever that block lives elsewhere —
+// at block size 1 that is nearly every element, the paper's worst case.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.hpp"
+#include "emu/config.hpp"
+#include "kernels/chase_common.hpp"
+
+namespace emusim::kernels {
+
+struct ChaseEmuParams {
+  std::size_t n = std::size_t{1} << 17;  ///< total list elements
+  std::size_t block = 64;                ///< elements per block
+  int threads = 64;
+  ShuffleMode mode = ShuffleMode::full_block_shuffle;
+  std::uint64_t seed = 1;
+};
+
+struct ChaseEmuResult {
+  double mb_per_sec = 0.0;  ///< 16 useful bytes per element over sim time
+  Time elapsed = 0;
+  std::uint64_t migrations = 0;
+  double migrations_per_element = 0.0;
+  bool verified = false;
+};
+
+/// Instruction cost of one chase step (pointer bookkeeping, the summation,
+/// loop control, and the load's issue slot).
+inline constexpr std::uint64_t kChaseCyclesPerElement = 18;
+
+ChaseEmuResult run_chase_emu(const emu::SystemConfig& cfg,
+                             const ChaseEmuParams& p);
+
+}  // namespace emusim::kernels

@@ -1,0 +1,42 @@
+// Pointer chasing on the Xeon model (paper Figs 7, 8).
+//
+// The same logical lists as the Emu version, laid out contiguously in the
+// Xeon's physical memory.  Expected shape (paper Fig 7): strong sensitivity
+// to block size — small blocks waste 3/4 of every 64-byte line and thrash
+// DRAM rows; performance peaks for blocks of 256-4096 elements (order of
+// one 8 KiB DRAM page, where the row buffer and the stream prefetcher both
+// help); it declines once random intra-block access spans many pages.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.hpp"
+#include "kernels/chase_common.hpp"
+#include "xeon/config.hpp"
+
+namespace emusim::kernels {
+
+struct ChaseXeonParams {
+  std::size_t n = std::size_t{1} << 18;
+  std::size_t block = 64;
+  int threads = 16;
+  ShuffleMode mode = ShuffleMode::full_block_shuffle;
+  std::uint64_t seed = 1;
+};
+
+struct ChaseXeonResult {
+  double mb_per_sec = 0.0;  ///< 16 useful bytes per element
+  Time elapsed = 0;
+  double llc_hit_rate = 0.0;
+  std::uint64_t row_hits = 0;
+  std::uint64_t row_misses = 0;
+  bool verified = false;
+};
+
+/// Core cycles of pointer bookkeeping per chase step.
+inline constexpr std::uint64_t kChaseXeonCyclesPerElement = 6;
+
+ChaseXeonResult run_chase_xeon(const xeon::SystemConfig& cfg,
+                               const ChaseXeonParams& p);
+
+}  // namespace emusim::kernels

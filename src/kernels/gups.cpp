@@ -1,0 +1,125 @@
+#include "kernels/gups.hpp"
+
+#include <vector>
+
+#include "emu/machine.hpp"
+#include "emu/runtime/alloc.hpp"
+#include "sim/random.hpp"
+#include "xeon/machine.hpp"
+
+namespace emusim::kernels {
+
+using sim::Op;
+
+namespace {
+
+/// The GUPS update stream: XOR each visited word with the hashed index.
+/// Both platform kernels and the verifier derive the same stream from the
+/// seed, so the final table contents are checkable.
+struct UpdateStream {
+  std::uint64_t state;
+  std::size_t mask;
+  explicit UpdateStream(std::uint64_t seed, std::size_t table_words)
+      : state(seed), mask(table_words - 1) {}
+  std::pair<std::size_t, std::uint64_t> next() {
+    const std::uint64_t v = sim::splitmix64(state);
+    return {static_cast<std::size_t>(v) & mask, v};
+  }
+};
+
+Op<> gups_emu_worker(emu::Context& ctx, emu::Striped1D<std::int64_t>* table,
+                     std::uint64_t seed, std::size_t updates) {
+  UpdateStream stream(seed, table->size());
+  for (std::size_t u = 0; u < updates; ++u) {
+    const auto [idx, val] = stream.next();
+    co_await ctx.issue(kGupsEmuCyclesPerUpdate);
+    (*table)[idx] ^= static_cast<std::int64_t>(val);
+    // Memory-side remote atomic: no migration, no round trip.
+    ctx.atomic_remote(table->home(idx), table->byte_addr(idx));
+  }
+}
+
+Op<> gups_xeon_task(xeon::CpuContext& ctx, std::uint64_t base,
+                    std::vector<std::int64_t>* host, std::uint64_t seed,
+                    std::size_t updates) {
+  UpdateStream stream(seed, host->size());
+  for (std::size_t u = 0; u < updates; ++u) {
+    const auto [idx, val] = stream.next();
+    co_await ctx.load(base + idx * 8);
+    co_await ctx.compute(kGupsXeonCyclesPerUpdate);
+    (*host)[idx] ^= static_cast<std::int64_t>(val);
+    ctx.store(base + idx * 8);
+  }
+}
+
+bool verify_table(const std::vector<std::int64_t>& got, std::size_t words,
+                  std::uint64_t seed, int threads, std::size_t per_thread) {
+  std::vector<std::int64_t> want(words, 0);
+  for (int t = 0; t < threads; ++t) {
+    UpdateStream stream(seed + static_cast<std::uint64_t>(t), words);
+    for (std::size_t u = 0; u < per_thread; ++u) {
+      const auto [idx, val] = stream.next();
+      want[idx] ^= static_cast<std::int64_t>(val);
+    }
+  }
+  return want == got;
+}
+
+}  // namespace
+
+GupsResult run_gups_emu(const emu::SystemConfig& cfg, const GupsParams& p) {
+  EMUSIM_CHECK((p.table_words & (p.table_words - 1)) == 0);
+  emu::Machine m(cfg);
+  emu::Striped1D<std::int64_t> table(m, p.table_words);
+  for (std::size_t i = 0; i < p.table_words; ++i) table[i] = 0;
+
+  const std::size_t per_thread = p.updates / static_cast<std::size_t>(p.threads);
+  const Time elapsed = m.run_root([&](emu::Context& ctx) -> Op<> {
+    const int nlets = ctx.machine().num_nodelets();
+    for (int t = 0; t < p.threads; ++t) {
+      co_await ctx.spawn_at(t % nlets, [&, t](emu::Context& c) {
+        return gups_emu_worker(c, &table, p.seed + static_cast<std::uint64_t>(t),
+                               per_thread);
+      });
+    }
+    co_await ctx.sync();
+  });
+
+  GupsResult r;
+  r.elapsed = elapsed;
+  const double total = static_cast<double>(per_thread) * p.threads;
+  r.giga_updates_per_sec = total / to_seconds(elapsed) / 1e9;
+  r.mb_per_sec = mb_per_sec(8.0 * total, elapsed);
+  r.migrations = m.stats.migrations;
+  std::vector<std::int64_t> got(p.table_words);
+  for (std::size_t i = 0; i < p.table_words; ++i) got[i] = table[i];
+  r.verified = verify_table(got, p.table_words, p.seed, p.threads, per_thread);
+  return r;
+}
+
+GupsResult run_gups_xeon(const xeon::SystemConfig& cfg, const GupsParams& p) {
+  EMUSIM_CHECK((p.table_words & (p.table_words - 1)) == 0);
+  xeon::Machine m(cfg);
+  std::vector<std::int64_t> host(p.table_words, 0);
+  const std::uint64_t base = m.allocate(p.table_words * 8);
+
+  const std::size_t per_thread = p.updates / static_cast<std::size_t>(p.threads);
+  std::vector<xeon::TaskFn> tasks;
+  for (int t = 0; t < p.threads; ++t) {
+    tasks.push_back([&, t](xeon::CpuContext& c) {
+      return gups_xeon_task(c, base, &host, p.seed + static_cast<std::uint64_t>(t),
+                            per_thread);
+    });
+  }
+  const Time elapsed = run_task_pool(m, p.threads, std::move(tasks), 0);
+
+  GupsResult r;
+  r.elapsed = elapsed;
+  const double total = static_cast<double>(per_thread) * p.threads;
+  r.giga_updates_per_sec = total / to_seconds(elapsed) / 1e9;
+  r.mb_per_sec = mb_per_sec(8.0 * total, elapsed);
+  r.verified = verify_table(host, p.table_words, p.seed, p.threads, per_thread);
+  return r;
+}
+
+}  // namespace emusim::kernels

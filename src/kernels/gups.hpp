@@ -1,0 +1,40 @@
+// GUPS / RandomAccess (extension beyond the paper's figures; §III-E notes
+// pointer chase is "quite similar to GUPS, however GUPS lacks
+// data-dependent loads, and pointer chase does not modify the list").
+//
+// On the Emu, random updates map onto memory-side remote atomics: the
+// thread never migrates and never waits, so GUPS shows the architecture's
+// upper bound for fine-grained random traffic.  On the Xeon, every update
+// is a read-modify-write of a 64-byte line of which 8 bytes are used.
+#pragma once
+
+#include "common/units.hpp"
+#include "emu/config.hpp"
+#include "xeon/config.hpp"
+
+namespace emusim::kernels {
+
+struct GupsParams {
+  std::size_t table_words = std::size_t{1} << 22;  ///< 32 MiB: DRAM-resident
+  std::size_t updates = std::size_t{1} << 18;
+  int threads = 512;
+  std::uint64_t seed = 11;
+};
+
+struct GupsResult {
+  double giga_updates_per_sec = 0.0;
+  double mb_per_sec = 0.0;  ///< 8 useful bytes per update
+  Time elapsed = 0;
+  std::uint64_t migrations = 0;  ///< emu only; must stay ~0
+  bool verified = false;
+};
+
+/// Issue cost per update on the Emu (index hash, remote-atomic issue).
+inline constexpr std::uint64_t kGupsEmuCyclesPerUpdate = 12;
+/// Core cycles per update on the Xeon.
+inline constexpr std::uint64_t kGupsXeonCyclesPerUpdate = 4;
+
+GupsResult run_gups_emu(const emu::SystemConfig& cfg, const GupsParams& p);
+GupsResult run_gups_xeon(const xeon::SystemConfig& cfg, const GupsParams& p);
+
+}  // namespace emusim::kernels

@@ -1,0 +1,60 @@
+// MTTKRP (the CP-ALS inner kernel, ParTI motivation) on both platforms.
+//
+// Emu layouts, following the SpMV lessons (paper §V-A):
+//   one_d — nonzeros word-striped across nodelets, output M on nodelet 0
+//           updated through memory-side remote atomics: every nonzero
+//           migrates to its coordinates' home.
+//   two_d — nonzeros partitioned by mode-0 slices onto nodelets, factor
+//           matrices B and C replicated, each M row local to its slice's
+//           nodelet: no migrations at all.
+//
+// The Xeon version runs i-range tasks through the task pool, with
+// OoO-overlap load batching as in the SpMV kernel.
+#pragma once
+
+#include "common/units.hpp"
+#include "emu/config.hpp"
+#include "tensor/coo.hpp"
+#include "xeon/config.hpp"
+
+namespace emusim::kernels {
+
+enum class MttkrpLayout { one_d, two_d };
+const char* to_string(MttkrpLayout l);
+
+struct MttkrpEmuParams {
+  const tensor::CooTensor* x = nullptr;
+  int rank = 8;
+  MttkrpLayout layout = MttkrpLayout::two_d;
+  std::size_t grain = 16;  ///< nonzeros per spawned task
+};
+
+struct MttkrpResult {
+  double mflops = 0.0;
+  double mb_per_sec = 0.0;  ///< COO stream (32 B per nonzero) over sim time
+  Time elapsed = 0;
+  std::uint64_t migrations = 0;
+  bool verified = false;
+};
+
+/// Issue cost per nonzero, excluding the per-rank-column work.
+inline constexpr std::uint64_t kMttkrpEmuCyclesPerNnz = 20;
+/// Issue cost per rank column (multiply-add chain on the Gossamer core).
+inline constexpr std::uint64_t kMttkrpEmuCyclesPerRankCol = 6;
+inline constexpr std::uint64_t kMttkrpXeonCyclesPerNnz = 4;
+inline constexpr std::uint64_t kMttkrpXeonCyclesPerRankCol = 1;
+
+MttkrpResult run_mttkrp_emu(const emu::SystemConfig& cfg,
+                            const MttkrpEmuParams& p);
+
+struct MttkrpXeonParams {
+  const tensor::CooTensor* x = nullptr;
+  int rank = 8;
+  int threads = 56;
+  std::size_t grain = 4096;
+};
+
+MttkrpResult run_mttkrp_xeon(const xeon::SystemConfig& cfg,
+                             const MttkrpXeonParams& p);
+
+}  // namespace emusim::kernels

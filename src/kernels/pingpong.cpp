@@ -1,0 +1,46 @@
+#include "kernels/pingpong.hpp"
+
+#include "emu/machine.hpp"
+
+namespace emusim::kernels {
+
+using emu::Context;
+using sim::Op;
+
+namespace {
+
+Op<> pingpong_worker(Context& ctx, int a, int b, int round_trips) {
+  for (int k = 0; k < round_trips; ++k) {
+    co_await ctx.migrate_to(b);
+    co_await ctx.migrate_to(a);
+  }
+}
+
+Op<> pingpong_root(Context& ctx, const PingPongParams* p) {
+  for (int t = 0; t < p->threads; ++t) {
+    co_await ctx.spawn_at(p->nodelet_a, [p](Context& c) {
+      return pingpong_worker(c, p->nodelet_a, p->nodelet_b, p->round_trips);
+    });
+  }
+  co_await ctx.sync();
+}
+
+}  // namespace
+
+PingPongResult run_pingpong(const emu::SystemConfig& cfg,
+                            const PingPongParams& p) {
+  emu::Machine m(cfg);
+  const Time elapsed =
+      m.run_root([&](Context& ctx) { return pingpong_root(ctx, &p); });
+
+  PingPongResult r;
+  r.elapsed = elapsed;
+  r.migrations = m.stats.migrations;
+  r.migrations_per_sec =
+      static_cast<double>(r.migrations) / to_seconds(elapsed);
+  r.mean_latency_us =
+      m.stats.migration_latency_ns.summary().mean() / 1000.0;
+  return r;
+}
+
+}  // namespace emusim::kernels

@@ -1,0 +1,29 @@
+// Ping-pong migration microbenchmark (paper §III-E, Fig 10): N threads
+// migrate back and forth between two nodelets several thousand times,
+// measuring migration-engine throughput (migrations/s) and, with a single
+// thread, the end-to-end latency of one migration.
+#pragma once
+
+#include "common/units.hpp"
+#include "emu/config.hpp"
+
+namespace emusim::kernels {
+
+struct PingPongParams {
+  int threads = 64;
+  int round_trips = 1000;  ///< each round trip is two migrations
+  int nodelet_a = 0;
+  int nodelet_b = 1;
+};
+
+struct PingPongResult {
+  double migrations_per_sec = 0.0;
+  double mean_latency_us = 0.0;  ///< mean per-migration latency
+  Time elapsed = 0;
+  std::uint64_t migrations = 0;
+};
+
+PingPongResult run_pingpong(const emu::SystemConfig& cfg,
+                            const PingPongParams& p);
+
+}  // namespace emusim::kernels

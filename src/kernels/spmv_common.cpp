@@ -1,0 +1,94 @@
+#include "kernels/spmv_common.hpp"
+
+#include "common/check.hpp"
+#include "sim/random.hpp"
+
+namespace emusim::kernels {
+
+Csr make_laplacian_2d(std::size_t n) {
+  EMUSIM_CHECK(n >= 1);
+  Csr a;
+  a.rows = a.cols = n * n;
+  a.row_ptr.reserve(a.rows + 1);
+  a.row_ptr.push_back(0);
+  a.col_idx.reserve(5 * a.rows);
+  a.vals.reserve(5 * a.rows);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const auto row = i * n + j;
+      auto push = [&](std::size_t col, double v) {
+        a.col_idx.push_back(static_cast<std::int64_t>(col));
+        a.vals.push_back(v);
+      };
+      if (i > 0) push(row - n, -1.0);
+      if (j > 0) push(row - 1, -1.0);
+      push(row, 4.0);
+      if (j + 1 < n) push(row + 1, -1.0);
+      if (i + 1 < n) push(row + n, -1.0);
+      a.row_ptr.push_back(static_cast<std::int64_t>(a.col_idx.size()));
+    }
+  }
+  return a;
+}
+
+std::vector<double> spmv_reference(const Csr& a,
+                                   const std::vector<double>& x) {
+  EMUSIM_CHECK(x.size() == a.cols);
+  std::vector<double> y(a.rows, 0.0);
+  for (std::size_t r = 0; r < a.rows; ++r) {
+    double acc = 0.0;
+    for (auto k = a.row_ptr[r]; k < a.row_ptr[r + 1]; ++k) {
+      acc += a.vals[static_cast<std::size_t>(k)] *
+             x[static_cast<std::size_t>(a.col_idx[static_cast<std::size_t>(k)])];
+    }
+    y[r] = acc;
+  }
+  return y;
+}
+
+std::vector<double> make_x(std::size_t cols, std::uint64_t seed) {
+  sim::Rng rng(seed);
+  std::vector<double> x(cols);
+  for (auto& v : x) v = rng.uniform() * 2.0 - 1.0;
+  return x;
+}
+
+double spmv_bytes(const Csr& a) {
+  return 16.0 * static_cast<double>(a.nnz());
+}
+
+std::vector<std::size_t> partition_rows_by_nnz(const Csr& a, int parts) {
+  EMUSIM_CHECK(parts >= 1);
+  std::vector<std::size_t> bounds;
+  bounds.reserve(static_cast<std::size_t>(parts) + 1);
+  bounds.push_back(0);
+  const double total = static_cast<double>(a.nnz());
+  std::size_t r = 0;
+  for (int p = 1; p < parts; ++p) {
+    const double target = total * p / parts;
+    while (r < a.rows && static_cast<double>(a.row_ptr[r]) < target) ++r;
+    bounds.push_back(r);
+  }
+  bounds.push_back(a.rows);
+  return bounds;
+}
+
+std::vector<std::size_t> grain_tasks(const Csr& a, std::size_t row_begin,
+                                     std::size_t row_end, std::size_t grain) {
+  std::vector<std::size_t> bounds;
+  bounds.push_back(row_begin);
+  std::size_t start = row_begin;
+  while (start < row_end) {
+    std::size_t r = start;
+    const auto limit =
+        a.row_ptr[start] + static_cast<std::int64_t>(grain);
+    while (r < row_end && a.row_ptr[r + 1] < limit) ++r;
+    ++r;  // include the row that crossed the grain boundary
+    if (r > row_end) r = row_end;
+    bounds.push_back(r);
+    start = r;
+  }
+  return bounds;
+}
+
+}  // namespace emusim::kernels

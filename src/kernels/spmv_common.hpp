@@ -1,0 +1,47 @@
+// Sparse matrix-vector multiply: shared CSR structures and the paper's
+// synthetic inputs (§III-E): a d=2, k=5-point Laplacian stencil on an n x n
+// grid, i.e. an n^2 x n^2 matrix with 5 diagonals.
+//
+// Effective bandwidth is reported as the paper does for CSR SpMV: the CSR
+// stream itself (8 B value + 8 B column index per nonzero — the Emu port
+// uses 64-bit indices) over the kernel time.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace emusim::kernels {
+
+struct Csr {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::vector<std::int64_t> row_ptr;  ///< rows+1 entries
+  std::vector<std::int64_t> col_idx;  ///< nnz entries (64-bit, as on Emu)
+  std::vector<double> vals;           ///< nnz entries
+
+  std::size_t nnz() const { return vals.size(); }
+};
+
+/// 5-point 2-D Laplacian on an n x n grid: 4 on the diagonal, -1 for each
+/// grid neighbour.  rows = cols = n^2.
+Csr make_laplacian_2d(std::size_t n);
+
+/// y = A * x, straightforward serial reference for verification.
+std::vector<double> spmv_reference(const Csr& a, const std::vector<double>& x);
+
+/// Deterministic x vector for the benchmarks.
+std::vector<double> make_x(std::size_t cols, std::uint64_t seed = 3);
+
+/// Useful bytes for the effective-bandwidth metric: 16 B per nonzero.
+double spmv_bytes(const Csr& a);
+
+/// Partition rows into `parts` contiguous ranges with approximately equal
+/// nonzero counts.  Returns parts+1 row boundaries.
+std::vector<std::size_t> partition_rows_by_nnz(const Csr& a, int parts);
+
+/// Split [row_begin, row_end) into tasks of at least `grain` nonzeros,
+/// breaking only at row boundaries.  Returns task row boundaries.
+std::vector<std::size_t> grain_tasks(const Csr& a, std::size_t row_begin,
+                                     std::size_t row_end, std::size_t grain);
+
+}  // namespace emusim::kernels

@@ -1,0 +1,52 @@
+// CSR SpMV on the Emu machine model with the paper's three data layouts
+// (§III-E, Fig 3, Fig 9a):
+//
+//   local — everything (row pointers, column indices, values, x, y) in one
+//           nodelet's memory: parallelism is capped by that nodelet's 64
+//           threadlet slots and single core/channel.
+//   one_d — matrix arrays word-striped across nodelets (mw_malloc1dlong),
+//           x replicated, y on nodelet 0: walking a row migrates on nearly
+//           every nonzero.
+//   two_d — the paper's custom two-stage allocation: each nodelet holds the
+//           values/indices of the rows assigned to it (balanced by nnz), x
+//           replicated, y written back to nodelet 0 with memory-side
+//           writes: no migrations inside a row.
+//
+// Work is created the way the Emu port does it: a remote-spawned leader per
+// participating nodelet, which cilk_spawns tasks of `grain` nonzeros
+// (paper: 16 on Emu vs 16384 on the CPU).
+#pragma once
+
+#include "common/units.hpp"
+#include "emu/config.hpp"
+#include "kernels/spmv_common.hpp"
+
+namespace emusim::kernels {
+
+enum class SpmvLayout { local, one_d, two_d };
+const char* to_string(SpmvLayout l);
+
+struct SpmvEmuParams {
+  std::size_t laplacian_n = 100;  ///< grid side; matrix is n^2 x n^2
+  SpmvLayout layout = SpmvLayout::two_d;
+  std::size_t grain = 16;  ///< nonzeros per spawned task
+};
+
+struct SpmvEmuResult {
+  double mb_per_sec = 0.0;  ///< 16 B per nonzero over sim time
+  Time elapsed = 0;
+  std::uint64_t migrations = 0;
+  std::uint64_t spawns = 0;
+  bool verified = false;
+};
+
+/// Issue cost per nonzero (64-bit index arithmetic, unfused multiply-add,
+/// loop control on a simple in-order core) and per row (pointer loads,
+/// accumulator setup, y write).
+inline constexpr std::uint64_t kSpmvEmuCyclesPerNnz = 45;
+inline constexpr std::uint64_t kSpmvEmuCyclesPerRow = 40;
+
+SpmvEmuResult run_spmv_emu(const emu::SystemConfig& cfg,
+                           const SpmvEmuParams& p);
+
+}  // namespace emusim::kernels

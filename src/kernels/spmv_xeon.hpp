@@ -1,0 +1,36 @@
+// CSR SpMV on the Haswell Xeon model (paper Fig 9b): an MKL-like statically
+// scheduled kernel, a cilk_for version (fine chunks through the task pool),
+// and a cilk_spawn version with an explicit grain size (the paper found
+// 16384 elements per spawn best on the CPU vs 16 on the Emu).
+#pragma once
+
+#include "common/units.hpp"
+#include "kernels/spmv_common.hpp"
+#include "xeon/config.hpp"
+
+namespace emusim::kernels {
+
+enum class SpmvXeonImpl { mkl, cilk_for, cilk_spawn };
+const char* to_string(SpmvXeonImpl i);
+
+struct SpmvXeonParams {
+  std::size_t laplacian_n = 100;
+  SpmvXeonImpl impl = SpmvXeonImpl::mkl;
+  int threads = 56;
+  std::size_t grain = 16384;  ///< nonzeros per task (cilk_spawn only)
+};
+
+struct SpmvXeonResult {
+  double mb_per_sec = 0.0;  ///< 16 B per nonzero over sim time
+  Time elapsed = 0;
+  bool verified = false;
+};
+
+/// Core cycles per nonzero (index load, value load, FMA, loop) and per row.
+inline constexpr std::uint64_t kSpmvXeonCyclesPerNnz = 3;
+inline constexpr std::uint64_t kSpmvXeonCyclesPerRow = 6;
+
+SpmvXeonResult run_spmv_xeon(const xeon::SystemConfig& cfg,
+                             const SpmvXeonParams& p);
+
+}  // namespace emusim::kernels

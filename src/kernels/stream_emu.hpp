@@ -1,0 +1,67 @@
+// STREAM ADD on the Emu machine model (paper Figs 4, 5, 10).
+//
+// c[i] = a[i] + b[i] over three arrays of 8-byte integers striped across
+// the nodelets, with the paper's four thread-creation strategies:
+//
+//   serial_spawn          — one thread spawns every worker locally with a
+//                           for loop; workers take contiguous *global*
+//                           index ranges, so on a multi-nodelet system each
+//                           worker strides across nodelets and migrates on
+//                           nearly every element (the naive port).
+//   recursive_spawn       — same decomposition, but workers are created by
+//                           a local recursive spawn tree.
+//   serial_remote_spawn   — one thread is first spawned *onto each nodelet*
+//                           (remote spawn); each then serially spawns local
+//                           workers that touch only nodelet-local elements.
+//   recursive_remote_spawn— remote spawn tree across nodelets, then a local
+//                           recursive tree per nodelet.
+//
+// The remote variants eliminate steady-state migrations entirely, which is
+// the paper's Fig 5 finding: remote spawns are essential for peak bandwidth.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/units.hpp"
+#include "emu/config.hpp"
+
+namespace emusim::kernels {
+
+enum class SpawnStrategy {
+  serial_spawn,
+  recursive_spawn,
+  serial_remote_spawn,
+  recursive_remote_spawn,
+};
+
+const char* to_string(SpawnStrategy s);
+
+struct StreamParams {
+  std::size_t n = std::size_t{1} << 20;  ///< elements per array
+  int threads = 64;                      ///< total worker threads
+  SpawnStrategy strategy = SpawnStrategy::serial_spawn;
+  /// Stripe arrays (and spawn work) across only the first `across` nodelets
+  /// (0 = all).  Fig 4 uses across=1.
+  int across = 0;
+};
+
+struct StreamResult {
+  double mb_per_sec = 0.0;  ///< useful bytes (24 per element) over sim time
+  Time elapsed = 0;
+  std::uint64_t migrations = 0;
+  std::uint64_t spawns = 0;
+  std::uint64_t inline_spawns = 0;
+  bool verified = false;  ///< c == a + b for every element
+};
+
+/// Instruction cost of one STREAM ADD loop iteration on a Gossamer core
+/// (address generation for three striped arrays, the add, loop control, and
+/// the issue slots of the loads/store).  Calibrated so eight nodelets peak
+/// near the paper's 1.2 GB/s.
+inline constexpr std::uint64_t kStreamCyclesPerElement = 22;
+
+StreamResult run_stream_add(const emu::SystemConfig& cfg,
+                            const StreamParams& p);
+
+}  // namespace emusim::kernels

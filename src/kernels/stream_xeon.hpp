@@ -1,0 +1,31 @@
+// STREAM ADD on the Xeon model.  Establishes each CPU platform's measured
+// peak bandwidth — the normalization denominator for Fig 8 — and backs the
+// paper's statement that the Sandy Bridge reference reaches close to its
+// nominal 51.2 GB/s.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.hpp"
+#include "xeon/config.hpp"
+
+namespace emusim::kernels {
+
+struct StreamXeonParams {
+  std::size_t n = std::size_t{1} << 21;  ///< elements (8 B) per array
+  int threads = 16;
+};
+
+struct StreamXeonResult {
+  double mb_per_sec = 0.0;  ///< 24 useful bytes per element over sim time
+  Time elapsed = 0;
+  bool verified = false;
+};
+
+/// Core cycles per element of the unrolled add loop.
+inline constexpr std::uint64_t kStreamXeonCyclesPerElement = 2;
+
+StreamXeonResult run_stream_xeon(const xeon::SystemConfig& cfg,
+                                 const StreamXeonParams& p);
+
+}  // namespace emusim::kernels

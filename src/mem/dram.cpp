@@ -1,0 +1,113 @@
+#include "mem/dram.hpp"
+
+namespace emusim::mem {
+
+DramTiming DramTiming::ncdram_chick() {
+  DramTiming t;
+  t.transfer_rate_mts = 1600.0;
+  t.bus_bits = 8;  // narrow channel: 8-byte word per 8-transfer burst
+  t.t_cas = ns(14);
+  t.t_rcd = ns(14);
+  t.t_rp = ns(14);
+  // FPGA soft memory controller + nodelet NoC round trip: a long fixed
+  // path, the same order as the Chick's measured 1-2 us migration latency.
+  // Calibrated so one Gossamer core approaches STREAM saturation around 32
+  // threads (paper Fig 4).
+  t.ctrl_latency = ns(550);
+  t.banks = 16;
+  t.row_bytes = 8 * 1024;
+  return t;
+}
+
+DramTiming DramTiming::ncdram_fullspeed() {
+  DramTiming t = ncdram_chick();
+  t.transfer_rate_mts = 2133.0;
+  t.ctrl_latency = ns(300);  // hardened controller in the production design
+  return t;
+}
+
+DramTiming DramTiming::ddr3_1600() {
+  DramTiming t;
+  t.transfer_rate_mts = 1600.0;
+  t.bus_bits = 64;
+  t.t_cas = ns(13.75);
+  t.t_rcd = ns(13.75);
+  t.t_rp = ns(13.75);
+  // End-to-end core-to-DRAM path beyond the array timings (ring, home
+  // agent, memory controller): calibrated for ~80 ns LLC-miss latency.
+  t.ctrl_latency = ns(65);
+  t.banks = 32;  // 8 banks x 2 ranks x 2 DIMMs
+  t.row_bytes = 8 * 1024;
+  return t;
+}
+
+DramTiming DramTiming::ddr4_1333() {
+  DramTiming t;
+  t.transfer_rate_mts = 1333.0;
+  t.bus_bits = 64;
+  t.t_cas = ns(15);
+  t.t_rcd = ns(15);
+  t.t_rp = ns(15);
+  t.ctrl_latency = ns(70);  // 4-socket E7: longer coherence path
+  t.banks = 32;
+  t.row_bytes = 8 * 1024;
+  return t;
+}
+
+Time DramChannel::skip_refresh(Time t) const {
+  // The rank is busy for tRFC at the end of every tREFI window (placed at
+  // the end so cold-start accesses are not penalized).
+  if (timing_.t_refi <= 0) return t;
+  const Time phase = t % timing_.t_refi;
+  if (phase >= timing_.t_refi - timing_.t_rfc) {
+    return t + timing_.t_refi - phase;
+  }
+  return t;
+}
+
+Time DramChannel::access(std::uint64_t addr, std::uint32_t bytes,
+                         bool is_write) {
+  const std::uint64_t row = addr / timing_.row_bytes;
+  const std::size_t bank = bank_of(addr);
+
+  const Time arrival = skip_refresh(eng_->now() + timing_.ctrl_latency);
+  const bool hit = open_row_[bank] == row;
+
+  Time cmd_start = std::max(arrival, bank_free_[bank]);
+  Time prep = 0;  // precharge + activate when the row buffer misses
+  if (!hit) {
+    // Activates are additionally rate-limited by the four-activate window.
+    cmd_start = std::max(cmd_start, activate_free_);
+    activate_free_ = cmd_start + timing_.t_faw / 4;
+    prep = timing_.t_rp + timing_.t_rcd;
+  }
+
+  // CAS latency pipelines across column commands: the bank is busy for the
+  // prep plus the column/burst occupancy, while the data itself arrives a
+  // CAS latency later.
+  const Time burst = timing_.burst_time(bytes);
+  const Time data_ready = cmd_start + prep + timing_.t_cas;
+  // The refresh window blocks the data bus as well as new arrivals.
+  const Time burst_start = skip_refresh(std::max(data_ready, bus_free_));
+  const Time done = burst_start + burst;
+
+  bus_free_ = done;
+  bus_busy_ += burst;
+  bank_free_[bank] = cmd_start + prep + burst;
+  open_row_[bank] = row;
+
+  if (is_write) {
+    ++stats_.writes;
+  } else {
+    ++stats_.reads;
+  }
+  if (hit) {
+    ++stats_.row_hits;
+  } else {
+    ++stats_.row_misses;
+  }
+  stats_.bytes += bytes;
+  return done;
+}
+
+}  // namespace emusim::mem

@@ -1,0 +1,149 @@
+// DRAM channel timing model.
+//
+// Captures the two effects the paper's benchmarks hinge on:
+//   * a serialized data bus whose burst time scales with the transfer size
+//     and bus width — narrow-channel DRAM (NCDRAM, 8-bit) moves an 8-byte
+//     word in one burst at full efficiency, while a 64-bit channel moves a
+//     64-byte line per burst;
+//   * per-bank open-row state — accesses that hit the open row pay tCAS,
+//     accesses to a different row pay precharge + activate + CAS.  This is
+//     what creates the Xeon's DRAM-page locality peak in pointer chasing.
+//
+// Requests are serviced in arrival order.  Bank activity overlaps across
+// banks; only data bursts serialize on the bus.  That is a simplification of
+// FR-FCFS controllers, but preserves the bandwidth/locality shapes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/resource.hpp"
+
+namespace emusim::mem {
+
+using sim::Engine;
+
+struct DramTiming {
+  double transfer_rate_mts = 1600.0;  ///< mega-transfers per second
+  int bus_bits = 64;                  ///< data bus width
+  Time t_cas = ns(14);                ///< column access (open row)
+  Time t_rcd = ns(14);                ///< activate-to-column
+  Time t_rp = ns(14);                 ///< precharge
+  Time ctrl_latency = ns(20);         ///< controller/PHY fixed overhead
+  Time t_faw = ns(40);                ///< four-activate window (activate rate)
+  Time t_refi = us(7.8);              ///< refresh interval (0 disables)
+  Time t_rfc = ns(350);               ///< refresh cycle (rank busy)
+  int banks = 16;
+  std::size_t row_bytes = 8 * 1024;   ///< row-buffer (DRAM page) size
+
+  /// Peak data-bus bandwidth in bytes/sec.
+  double bytes_per_sec() const {
+    return transfer_rate_mts * 1e6 * bus_bits / 8.0;
+  }
+
+  /// Minimum transfer per access: one BL8 burst (8 transfers x bus width).
+  /// This is the crux of the narrow-channel argument — an 8-bit NCDRAM
+  /// channel's minimum burst is 8 bytes, a 64-bit channel's is 64 bytes, so
+  /// small requests waste most of a wide bus's occupancy.
+  std::size_t min_burst_bytes() const {
+    return static_cast<std::size_t>(bus_bits);  // 8 transfers x bits/8 bytes
+  }
+
+  /// Time the data bus is occupied transferring `bytes`.
+  Time burst_time(std::size_t bytes) const {
+    const std::size_t moved = bytes < min_burst_bytes() ? min_burst_bytes()
+                                                        : bytes;
+    return transfer_time(static_cast<double>(moved), bytes_per_sec());
+  }
+
+  // --- Configurations used by the reproduction -------------------------
+  /// Emu Chick hardware: NCDRAM, 8-bit bus, DDR4 chips clocked at 1600 MT/s.
+  /// Controller overhead reflects the FPGA memory path (calibrated so the
+  /// single-nodelet STREAM saturation knee lands near 32 threads, Fig 4).
+  static DramTiming ncdram_chick();
+  /// Full-speed Emu design point: NCDRAM at DDR4-2133.
+  static DramTiming ncdram_fullspeed();
+  /// Sandy Bridge server channel: 64-bit DDR3-1600 (12.8 GB/s/channel).
+  static DramTiming ddr3_1600();
+  /// Haswell E7 server channel: 64-bit DDR4 clocked at 1333 MT/s.
+  static DramTiming ddr4_1333();
+};
+
+struct DramStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t row_hits = 0;
+  std::uint64_t row_misses = 0;
+  std::uint64_t bytes = 0;
+};
+
+class DramChannel {
+ public:
+  DramChannel(Engine& eng, const DramTiming& timing)
+      : eng_(&eng),
+        timing_(timing),
+        bank_free_(static_cast<std::size_t>(timing.banks), 0),
+        open_row_(static_cast<std::size_t>(timing.banks), kNoRow) {}
+
+  /// Awaitable read: the caller resumes when the data arrives.
+  auto read(std::uint64_t addr, std::uint32_t bytes) {
+    struct Awaiter {
+      DramChannel& ch;
+      std::uint64_t addr;
+      std::uint32_t bytes;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        const Time done = ch.access(addr, bytes, /*is_write=*/false);
+        ch.eng_->schedule(done, h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this, addr, bytes};
+  }
+
+  /// Posted write: accounted against bus/bank state but the caller does not
+  /// wait for completion (write data is buffered by the controller).
+  Time write(std::uint64_t addr, std::uint32_t bytes) {
+    return access(addr, bytes, /*is_write=*/true);
+  }
+
+  /// Timing core, exposed for prefetchers and tests: account one access and
+  /// return its completion time.
+  Time access(std::uint64_t addr, std::uint32_t bytes, bool is_write);
+
+  /// Push `t` past the refresh blackout at the end of its tREFI window.
+  Time skip_refresh(Time t) const;
+
+  /// Bank selection uses a hashed row index, as real controllers do —
+  /// without it, same-stride streams (e.g. STREAM's three arrays allocated
+  /// a power-of-two apart) alias into one bank and thrash its row buffer.
+  std::size_t bank_of(std::uint64_t addr) const {
+    std::uint64_t z = addr / timing_.row_bytes;
+    z ^= z >> 33;
+    z *= 0xFF51AFD7ED558CCDULL;
+    z ^= z >> 33;
+    return static_cast<std::size_t>(
+        z % static_cast<std::uint64_t>(timing_.banks));
+  }
+
+  const DramStats& stats() const { return stats_; }
+  const DramTiming& timing() const { return timing_; }
+  /// Total time the data bus has been occupied (for utilization).
+  Time bus_busy_time() const { return bus_busy_; }
+  Time bus_free_at() const { return bus_free_; }
+
+ private:
+  static constexpr std::uint64_t kNoRow = ~0ULL;
+
+  Engine* eng_;
+  DramTiming timing_;
+  std::vector<Time> bank_free_;
+  std::vector<std::uint64_t> open_row_;
+  Time bus_free_ = 0;
+  Time bus_busy_ = 0;
+  Time activate_free_ = 0;  ///< next time an activate may issue (tFAW/4)
+  DramStats stats_;
+};
+
+}  // namespace emusim::mem

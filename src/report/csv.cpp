@@ -1,0 +1,36 @@
+#include "report/csv.hpp"
+
+namespace emusim::report {
+
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header) {
+  if (path.empty()) return;
+  file_ = std::fopen(path.c_str(), "w");
+  if (file_ != nullptr) row(header);
+}
+
+CsvWriter::~CsvWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  if (file_ == nullptr) return;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) std::fputc(',', file_);
+    std::fputs(csv_escape(cells[i]).c_str(), file_);
+  }
+  std::fputc('\n', file_);
+}
+
+}  // namespace emusim::report

@@ -1,0 +1,31 @@
+// CSV output for benchmark harnesses.  Every bench accepts --csv <path> and
+// writes its series as one tidy CSV (figure, series, x, y, extra columns).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace emusim::report {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing ("" disables output entirely; calls become
+  /// no-ops so harness code stays unconditional).
+  explicit CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header);
+  ~CsvWriter();
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  void row(const std::vector<std::string>& cells);
+  bool enabled() const { return file_ != nullptr; }
+
+ private:
+  std::FILE* file_ = nullptr;
+};
+
+/// Minimal CSV field quoting (commas/quotes/newlines).
+std::string csv_escape(const std::string& s);
+
+}  // namespace emusim::report

@@ -1,0 +1,52 @@
+#include "report/table.hpp"
+
+#include <algorithm>
+
+namespace emusim::report {
+
+void Table::print(std::FILE* out) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    width[c] = header_[c].size();
+  }
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size() && c < width.size(); ++c) {
+      width[c] = std::max(width[c], r[c].size());
+    }
+  }
+
+  std::size_t total = 0;
+  for (auto w : width) total += w + 2;
+
+  std::fprintf(out, "\n%s\n", title_.c_str());
+  for (std::size_t i = 0; i < std::max<std::size_t>(total, title_.size());
+       ++i) {
+    std::fputc('-', out);
+  }
+  std::fputc('\n', out);
+
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size() && c < width.size(); ++c) {
+      std::fprintf(out, "%-*s", static_cast<int>(width[c] + 2),
+                   cells[c].c_str());
+    }
+    std::fputc('\n', out);
+  };
+  print_row(header_);
+  for (const auto& r : rows_) print_row(r);
+  std::fflush(out);
+}
+
+std::string Table::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::integer(long long v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%lld", v);
+  return buf;
+}
+
+}  // namespace emusim::report

@@ -1,0 +1,129 @@
+// Discrete-event simulation core.
+//
+// The Engine owns a priority queue of timed events.  An event either resumes
+// a suspended coroutine (the common case: a simulated thread waiting on a
+// delay or a resource) or invokes a plain callback (used by machine
+// components such as prefetchers).  Ties are broken by insertion order, so a
+// simulation run is fully deterministic.
+//
+// All coroutine resumptions go through the event queue — components never
+// resume a coroutine synchronously from inside another coroutine.  This
+// keeps stack depth bounded regardless of how many simulated threads wake
+// each other.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/units.hpp"
+
+namespace emusim::sim {
+
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Current simulated time.
+  Time now() const { return now_; }
+
+  /// Resume coroutine `h` at absolute time `when` (>= now()).
+  void schedule(Time when, std::coroutine_handle<> h) {
+    EMUSIM_CHECK(when >= now_);
+    pq_.push(Event{when, next_seq_++, h, {}});
+  }
+
+  /// Resume coroutine `h` after `delay`.
+  void schedule_in(Time delay, std::coroutine_handle<> h) {
+    schedule(now_ + delay, h);
+  }
+
+  /// Invoke `fn` at absolute time `when`.
+  void call_at(Time when, std::function<void()> fn) {
+    EMUSIM_CHECK(when >= now_);
+    pq_.push(Event{when, next_seq_++, {}, std::move(fn)});
+  }
+
+  /// Invoke `fn` after `delay`.
+  void call_in(Time delay, std::function<void()> fn) {
+    call_at(now_ + delay, std::move(fn));
+  }
+
+  /// Process the earliest event.  Returns false when the queue is empty.
+  bool step() {
+    if (pq_.empty()) return false;
+    Event ev = pq_.top();
+    pq_.pop();
+    EMUSIM_CHECK(ev.when >= now_);
+    now_ = ev.when;
+    ++events_processed_;
+    if (ev.coro) {
+      ev.coro.resume();
+    } else {
+      ev.fn();
+    }
+    return true;
+  }
+
+  /// Run until no events remain.  Returns the final simulated time.
+  Time run() {
+    while (step()) {
+    }
+    return now_;
+  }
+
+  /// Run until no events remain or simulated time exceeds `deadline`.
+  Time run_until(Time deadline) {
+    while (!pq_.empty() && pq_.top().when <= deadline) step();
+    return now_;
+  }
+
+  bool idle() const { return pq_.empty(); }
+  std::uint64_t events_processed() const { return events_processed_; }
+
+  /// Awaitable: suspend the current coroutine for `delay` simulated time.
+  /// A delay of zero still round-trips through the event queue, which is
+  /// useful for yielding fairly to other ready work at the same timestamp.
+  auto sleep(Time delay) {
+    struct Awaiter {
+      Engine& eng;
+      Time delay;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) const {
+        eng.schedule_in(delay, h);
+      }
+      void await_resume() const noexcept {}
+    };
+    EMUSIM_CHECK(delay >= 0);
+    return Awaiter{*this, delay};
+  }
+
+  /// Awaitable: suspend until absolute time `when`.
+  auto sleep_until(Time when) { return sleep(when > now_ ? when - now_ : 0); }
+
+ private:
+  struct Event {
+    Time when = 0;
+    std::uint64_t seq = 0;
+    std::coroutine_handle<> coro;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> pq_;
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_processed_ = 0;
+};
+
+}  // namespace emusim::sim

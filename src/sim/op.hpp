@@ -1,0 +1,107 @@
+// Op: an awaitable coroutine for multi-stage timed operations.
+//
+// Hot-path simulator operations (a local DRAM read, an issue batch) are
+// plain awaiters with no frame allocation.  Operations that span several
+// waits — a thread migration queues on the migration engine, then acquires
+// a threadlet slot at the destination — are written as Op coroutines and
+// awaited from the simulated thread:
+//
+//   co_await ctx.migrate_to(dest);
+//
+// Completion resumes the awaiting coroutine by symmetric transfer; the Op
+// temporary destroys the frame after resumption.  Ops may return a value.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+namespace emusim::sim {
+
+template <class T = void>
+class Op;
+
+namespace detail {
+
+template <class Derived>
+struct OpPromiseBase {
+  std::coroutine_handle<> continuation;
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+
+  struct FinalAwaiter {
+    bool await_ready() noexcept { return false; }
+    std::coroutine_handle<> await_suspend(
+        std::coroutine_handle<Derived> h) noexcept {
+      auto cont = h.promise().continuation;
+      return cont ? cont : std::noop_coroutine();
+    }
+    void await_resume() noexcept {}
+  };
+  FinalAwaiter final_suspend() noexcept { return {}; }
+
+  void unhandled_exception() noexcept { std::terminate(); }
+};
+
+}  // namespace detail
+
+template <class T>
+class Op {
+ public:
+  struct promise_type : detail::OpPromiseBase<promise_type> {
+    T value{};
+    Op get_return_object() {
+      return Op{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    void return_value(T v) noexcept { value = std::move(v); }
+  };
+
+  Op(Op&& other) noexcept : h_(std::exchange(other.h_, {})) {}
+  Op(const Op&) = delete;
+  Op& operator=(const Op&) = delete;
+  ~Op() {
+    if (h_) h_.destroy();
+  }
+
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> caller) {
+    h_.promise().continuation = caller;
+    return h_;
+  }
+  T await_resume() { return std::move(h_.promise().value); }
+
+ private:
+  explicit Op(std::coroutine_handle<promise_type> h) : h_(h) {}
+  std::coroutine_handle<promise_type> h_;
+};
+
+template <>
+class Op<void> {
+ public:
+  struct promise_type : detail::OpPromiseBase<promise_type> {
+    Op get_return_object() {
+      return Op{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    void return_void() noexcept {}
+  };
+
+  Op(Op&& other) noexcept : h_(std::exchange(other.h_, {})) {}
+  Op(const Op&) = delete;
+  Op& operator=(const Op&) = delete;
+  ~Op() {
+    if (h_) h_.destroy();
+  }
+
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> caller) {
+    h_.promise().continuation = caller;
+    return h_;
+  }
+  void await_resume() {}
+
+ private:
+  explicit Op(std::coroutine_handle<promise_type> h) : h_(h) {}
+  std::coroutine_handle<promise_type> h_;
+};
+
+}  // namespace emusim::sim

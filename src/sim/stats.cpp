@@ -1,0 +1,46 @@
+#include "sim/stats.hpp"
+
+#include <cstdio>
+
+namespace emusim::sim {
+
+std::uint64_t Log2Histogram::quantile(double q) const {
+  const std::uint64_t total = count();
+  if (total == 0) return 0;
+  const auto target = static_cast<std::uint64_t>(q * static_cast<double>(total));
+  std::uint64_t seen = 0;
+  for (int b = 0; b < num_buckets(); ++b) {
+    seen += buckets_[static_cast<std::size_t>(b)];
+    if (seen > target) return 1ULL << (b + 1 <= 63 ? b + 1 : 63);
+  }
+  return 1ULL << 63;
+}
+
+std::string Log2Histogram::render() const {
+  std::uint64_t peak = 0;
+  int lo = num_buckets(), hi = -1;
+  for (int b = 0; b < num_buckets(); ++b) {
+    const auto n = buckets_[static_cast<std::size_t>(b)];
+    if (n > 0) {
+      lo = std::min(lo, b);
+      hi = std::max(hi, b);
+      peak = std::max(peak, n);
+    }
+  }
+  if (hi < 0) return "(empty)\n";
+  std::string out;
+  char line[160];
+  for (int b = lo; b <= hi; ++b) {
+    const auto n = buckets_[static_cast<std::size_t>(b)];
+    const int bars =
+        peak ? static_cast<int>(40.0 * static_cast<double>(n) /
+                                static_cast<double>(peak)) : 0;
+    std::snprintf(line, sizeof line, "[2^%02d, 2^%02d) %-40.*s %llu\n", b,
+                  b + 1, bars, "########################################",
+                  static_cast<unsigned long long>(n));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace emusim::sim

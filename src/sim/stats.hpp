@@ -1,0 +1,79 @@
+// Measurement plumbing: counters, running summaries, and a log2-bucketed
+// histogram for latency distributions.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace emusim::sim {
+
+/// Running summary of a scalar sample stream (count / mean / min / max and
+/// variance via Welford's algorithm).
+class Summary {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  std::uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Histogram with power-of-two buckets; bucket b holds samples in
+/// [2^b, 2^(b+1)).  Used for migration / memory latency distributions.
+class Log2Histogram {
+ public:
+  void add(std::uint64_t x) {
+    ++buckets_[bucket_of(x)];
+    summary_.add(static_cast<double>(x));
+  }
+
+  std::uint64_t count() const { return summary_.count(); }
+  const Summary& summary() const { return summary_; }
+  std::uint64_t bucket(int b) const {
+    return buckets_[static_cast<std::size_t>(b)];
+  }
+  static constexpr int num_buckets() { return 64; }
+
+  /// Approximate quantile from bucket boundaries (upper bound of the bucket
+  /// containing the q-th sample).
+  std::uint64_t quantile(double q) const;
+
+  /// Multi-line rendering for reports ("[1us,2us) ####... 1234").
+  std::string render() const;
+
+ private:
+  static int bucket_of(std::uint64_t x) {
+    if (x <= 1) return 0;
+    return 63 - __builtin_clzll(x);
+  }
+  std::array<std::uint64_t, 64> buckets_{};
+  Summary summary_;
+};
+
+}  // namespace emusim::sim

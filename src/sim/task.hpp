@@ -1,0 +1,86 @@
+// Task: a fire-and-forget coroutine representing one simulated thread.
+//
+// Lifecycle: creating a Task leaves the coroutine suspended at its initial
+// suspend point.  The owner installs an optional completion hook and calls
+// start() exactly once.  When the coroutine runs to completion its frame is
+// destroyed from the final awaiter and the hook fires — runtimes use the
+// hook to implement join/sync semantics and to recycle per-thread contexts.
+//
+// Exceptions: simulated kernels must not throw; an escaping exception
+// terminates the process (a simulation bug, not a recoverable condition).
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <functional>
+#include <utility>
+
+namespace emusim::sim {
+
+class Task {
+ public:
+  struct promise_type;
+  using Handle = std::coroutine_handle<promise_type>;
+
+  struct promise_type {
+    std::function<void()> on_complete;
+
+    Task get_return_object() { return Task{Handle::from_promise(*this)}; }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    struct FinalAwaiter {
+      bool await_ready() noexcept { return false; }
+      void await_suspend(Handle h) noexcept {
+        // Move the hook out before destroying the frame it lives in.
+        auto done = std::move(h.promise().on_complete);
+        h.destroy();
+        if (done) done();
+      }
+      void await_resume() noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+
+    void return_void() noexcept {}
+    void unhandled_exception() noexcept { std::terminate(); }
+  };
+
+  Task() = default;
+  explicit Task(Handle h) : handle_(h) {}
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  /// Install a hook invoked (once) after the coroutine finishes.
+  /// Must be called before start().
+  void on_complete(std::function<void()> fn) {
+    handle_.promise().on_complete = std::move(fn);
+  }
+
+  /// Begin execution.  The Task relinquishes ownership: the coroutine
+  /// destroys its own frame on completion.
+  void start() {
+    auto h = std::exchange(handle_, {});
+    h.resume();
+  }
+
+  bool valid() const { return static_cast<bool>(handle_); }
+
+ private:
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+  Handle handle_;
+};
+
+}  // namespace emusim::sim

@@ -1,0 +1,71 @@
+#include "sim/trace.hpp"
+
+namespace emusim::sim {
+
+const char* to_string(TraceKind k) {
+  switch (k) {
+    case TraceKind::thread_spawn: return "thread_spawn";
+    case TraceKind::thread_start: return "thread_start";
+    case TraceKind::thread_end: return "thread_end";
+    case TraceKind::migrate_out: return "migrate_out";
+    case TraceKind::migrate_in: return "migrate_in";
+    case TraceKind::mem_read: return "mem_read";
+    case TraceKind::mem_write: return "mem_write";
+    case TraceKind::remote_atomic: return "remote_atomic";
+  }
+  return "?";
+}
+
+std::size_t Tracer::count(TraceKind kind, std::int32_t who) const {
+  std::size_t n = 0;
+  for (const auto& r : records_) {
+    if (r.kind == kind && (who < 0 || r.a == who)) ++n;
+  }
+  return n;
+}
+
+void Tracer::dump(std::FILE* out) const {
+  for (const auto& r : records_) {
+    std::fprintf(out, "%14s  %-13s a=%-3d b=%-3d arg=%llu\n",
+                 format_time(r.t).c_str(), to_string(r.kind), r.a, r.b,
+                 static_cast<unsigned long long>(r.arg));
+  }
+  if (dropped_ > 0) {
+    std::fprintf(out, "... %llu records dropped at capacity\n",
+                 static_cast<unsigned long long>(dropped_));
+  }
+}
+
+std::vector<std::vector<std::uint64_t>> Tracer::migration_matrix(
+    int num_nodelets) const {
+  std::vector<std::vector<std::uint64_t>> m(
+      static_cast<std::size_t>(num_nodelets),
+      std::vector<std::uint64_t>(static_cast<std::size_t>(num_nodelets), 0));
+  for (const auto& r : records_) {
+    if (r.kind != TraceKind::migrate_out) continue;
+    if (r.a >= 0 && r.a < num_nodelets && r.b >= 0 && r.b < num_nodelets) {
+      ++m[static_cast<std::size_t>(r.a)][static_cast<std::size_t>(r.b)];
+    }
+  }
+  return m;
+}
+
+std::vector<std::vector<std::uint64_t>> Tracer::activity(TraceKind kind,
+                                                         int num_entities,
+                                                         Time bucket,
+                                                         Time end) const {
+  const auto buckets =
+      static_cast<std::size_t>(end / bucket + (end % bucket ? 1 : 0));
+  std::vector<std::vector<std::uint64_t>> act(
+      static_cast<std::size_t>(num_entities),
+      std::vector<std::uint64_t>(buckets ? buckets : 1, 0));
+  for (const auto& r : records_) {
+    if (r.kind != kind || r.a < 0 || r.a >= num_entities) continue;
+    auto b = static_cast<std::size_t>(r.t / bucket);
+    if (b >= act[0].size()) b = act[0].size() - 1;
+    ++act[static_cast<std::size_t>(r.a)][b];
+  }
+  return act;
+}
+
+}  // namespace emusim::sim

@@ -1,0 +1,95 @@
+// Event tracing for simulated machines.
+//
+// The vendor's toolchain ships a simulator that "counts key performance
+// events such as the number of thread spawns, migrations, and memory
+// operations per nodelet" (paper §III-B).  This tracer is the mechanism
+// behind our equivalent: when enabled on a Machine it records a bounded
+// stream of timestamped events that reports and tests can aggregate (e.g.
+// per-nodelet utilization over time, migration matrices).
+//
+// Tracing is off by default and costs one branch per event when disabled.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace emusim::sim {
+
+enum class TraceKind : std::uint8_t {
+  thread_spawn,   ///< a = birth nodelet, b = parent nodelet (-1: root)
+  thread_start,   ///< a = nodelet
+  thread_end,     ///< a = nodelet
+  migrate_out,    ///< a = source nodelet, b = destination nodelet
+  migrate_in,     ///< a = destination nodelet, b = source nodelet
+  mem_read,       ///< a = nodelet, arg = bytes
+  mem_write,      ///< a = nodelet, arg = bytes
+  remote_atomic,  ///< a = target nodelet
+};
+
+const char* to_string(TraceKind k);
+
+struct TraceRecord {
+  Time t = 0;
+  TraceKind kind = TraceKind::thread_spawn;
+  std::int32_t a = -1;
+  std::int32_t b = -1;
+  std::uint64_t arg = 0;
+};
+
+class Tracer {
+ public:
+  /// Enable tracing, keeping at most `capacity` records (recording stops
+  /// silently at capacity; `dropped()` reports the overflow).
+  void enable(std::size_t capacity = 1u << 20) {
+    enabled_ = true;
+    capacity_ = capacity;
+    records_.clear();
+    records_.reserve(capacity < 4096 ? capacity : 4096);
+    dropped_ = 0;
+  }
+  void disable() { enabled_ = false; }
+  bool enabled() const { return enabled_; }
+
+  void record(Time t, TraceKind kind, std::int32_t a, std::int32_t b = -1,
+              std::uint64_t arg = 0) {
+    if (!enabled_) return;
+    if (records_.size() >= capacity_) {
+      ++dropped_;
+      return;
+    }
+    records_.push_back(TraceRecord{t, kind, a, b, arg});
+  }
+
+  const std::vector<TraceRecord>& records() const { return records_; }
+  std::uint64_t dropped() const { return dropped_; }
+
+  /// Count records of one kind (optionally restricted to `a == who`).
+  std::size_t count(TraceKind kind, std::int32_t who = -1) const;
+
+  /// Human-readable dump (one line per record).
+  void dump(std::FILE* out) const;
+
+  /// Migration matrix: result[src][dst] = number of migrate_out records,
+  /// sized num_nodelets x num_nodelets.
+  std::vector<std::vector<std::uint64_t>> migration_matrix(
+      int num_nodelets) const;
+
+  /// Per-entity activity over time: bucket counts of records of `kind` per
+  /// `bucket` of simulated time; result[entity][bucket_index].
+  std::vector<std::vector<std::uint64_t>> activity(TraceKind kind,
+                                                   int num_entities,
+                                                   Time bucket,
+                                                   Time end) const;
+
+ private:
+  bool enabled_ = false;
+  std::size_t capacity_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::vector<TraceRecord> records_;
+};
+
+}  // namespace emusim::sim

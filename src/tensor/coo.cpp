@@ -1,0 +1,72 @@
+#include "tensor/coo.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+#include "common/check.hpp"
+#include "sim/random.hpp"
+
+namespace emusim::tensor {
+
+CooTensor make_random_tensor(std::size_t dim0, std::size_t dim1,
+                             std::size_t dim2, std::size_t nnz,
+                             std::uint64_t seed) {
+  EMUSIM_CHECK(dim0 >= 1 && dim1 >= 1 && dim2 >= 1);
+  sim::Rng rng(seed);
+  std::vector<std::tuple<std::uint32_t, std::uint32_t, std::uint32_t>> coords;
+  coords.reserve(nnz);
+  for (std::size_t e = 0; e < nnz; ++e) {
+    coords.emplace_back(static_cast<std::uint32_t>(rng.below(dim0)),
+                        static_cast<std::uint32_t>(rng.below(dim1)),
+                        static_cast<std::uint32_t>(rng.below(dim2)));
+  }
+  std::sort(coords.begin(), coords.end());
+  coords.erase(std::unique(coords.begin(), coords.end()), coords.end());
+
+  CooTensor x;
+  x.dim0 = dim0;
+  x.dim1 = dim1;
+  x.dim2 = dim2;
+  x.i.reserve(coords.size());
+  x.j.reserve(coords.size());
+  x.k.reserve(coords.size());
+  x.val.reserve(coords.size());
+  for (auto [ci, cj, ck] : coords) {
+    x.i.push_back(ci);
+    x.j.push_back(cj);
+    x.k.push_back(ck);
+    x.val.push_back(rng.uniform() * 2.0 - 1.0);
+  }
+  return x;
+}
+
+Factor make_factor(std::size_t rows, int rank, std::uint64_t seed) {
+  Factor f(rows, rank);
+  sim::Rng rng(seed);
+  for (auto& v : f.data) v = rng.uniform() * 2.0 - 1.0;
+  return f;
+}
+
+std::vector<double> mttkrp_reference(const CooTensor& x, const Factor& b,
+                                     const Factor& c) {
+  EMUSIM_CHECK(b.rows == x.dim1 && c.rows == x.dim2);
+  EMUSIM_CHECK(b.rank == c.rank);
+  const auto rank = static_cast<std::size_t>(b.rank);
+  std::vector<double> m(x.dim0 * rank, 0.0);
+  for (std::size_t e = 0; e < x.nnz(); ++e) {
+    const double v = x.val[e];
+    const double* br = b.row(x.j[e]);
+    const double* cr = c.row(x.k[e]);
+    double* mr = m.data() + static_cast<std::size_t>(x.i[e]) * rank;
+    for (std::size_t r = 0; r < rank; ++r) {
+      mr[r] += v * br[r] * cr[r];
+    }
+  }
+  return m;
+}
+
+double mttkrp_flops(const CooTensor& x, int rank) {
+  return 3.0 * static_cast<double>(x.nnz()) * rank;
+}
+
+}  // namespace emusim::tensor

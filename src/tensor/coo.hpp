@@ -1,0 +1,53 @@
+// Sparse-tensor substrate for the tensor-decomposition motivating
+// application (paper §I: ParTI, CP/Tucker decomposition).  Third-order
+// tensors in coordinate (COO) form, dense factor matrices, and a serial
+// MTTKRP reference — MTTKRP (matricized tensor times Khatri-Rao product)
+// being the bandwidth-bound inner kernel of CP-ALS.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace emusim::tensor {
+
+/// Third-order sparse tensor, coordinates sorted by mode-0 index.
+struct CooTensor {
+  std::size_t dim0 = 0, dim1 = 0, dim2 = 0;
+  std::vector<std::uint32_t> i, j, k;
+  std::vector<double> val;
+
+  std::size_t nnz() const { return val.size(); }
+};
+
+/// Random tensor with `nnz` nonzeros at deterministic coordinates
+/// (duplicates collapsed), sorted by i.
+CooTensor make_random_tensor(std::size_t dim0, std::size_t dim1,
+                             std::size_t dim2, std::size_t nnz,
+                             std::uint64_t seed);
+
+/// Dense row-major factor matrix.
+struct Factor {
+  std::size_t rows = 0;
+  int rank = 0;
+  std::vector<double> data;  ///< rows x rank
+
+  Factor() = default;
+  Factor(std::size_t r, int rk) : rows(r), rank(rk), data(r * static_cast<std::size_t>(rk), 0.0) {}
+  double* row(std::size_t r) { return data.data() + r * static_cast<std::size_t>(rank); }
+  const double* row(std::size_t r) const {
+    return data.data() + r * static_cast<std::size_t>(rank);
+  }
+};
+
+/// Deterministic factor with entries in [-1, 1).
+Factor make_factor(std::size_t rows, int rank, std::uint64_t seed);
+
+/// Mode-0 MTTKRP: M(i,:) += X(i,j,k) * B(j,:) .* C(k,:) over all nonzeros.
+/// Returns M as a dim0 x rank row-major matrix.
+std::vector<double> mttkrp_reference(const CooTensor& x, const Factor& b,
+                                     const Factor& c);
+
+/// Floating-point operations of one MTTKRP (3 per nonzero per rank column).
+double mttkrp_flops(const CooTensor& x, int rank);
+
+}  // namespace emusim::tensor

@@ -1,0 +1,84 @@
+#include "xeon/cache.hpp"
+
+namespace emusim::xeon {
+
+namespace {
+std::uint64_t floor_pow2(std::uint64_t v) {
+  std::uint64_t p = 1;
+  while (p * 2 <= v) p *= 2;
+  return p;
+}
+}  // namespace
+
+SetAssocCache::SetAssocCache(std::size_t capacity_bytes, int ways,
+                             int line_bytes)
+    : ways_(ways), line_bytes_(line_bytes) {
+  EMUSIM_CHECK(ways >= 1 && line_bytes >= 8);
+  const std::uint64_t total_lines =
+      capacity_bytes / static_cast<std::size_t>(line_bytes);
+  EMUSIM_CHECK(total_lines >= static_cast<std::uint64_t>(ways));
+  num_sets_ = floor_pow2(total_lines / static_cast<std::uint64_t>(ways));
+  lines_.assign(num_sets_ * static_cast<std::uint64_t>(ways_), Line{});
+}
+
+SetAssocCache::Line* SetAssocCache::lookup(std::uint64_t addr) {
+  const std::uint64_t set = set_of(addr);
+  const std::uint64_t tag = tag_of(addr);
+  Line* base = &lines_[set * static_cast<std::uint64_t>(ways_)];
+  for (int w = 0; w < ways_; ++w) {
+    if (base[w].tag == tag) {
+      base[w].last_use = ++use_clock_;
+      ++stats.hits;
+      return &base[w];
+    }
+  }
+  ++stats.misses;
+  return nullptr;
+}
+
+bool SetAssocCache::contains(std::uint64_t addr) const {
+  const std::uint64_t set = set_of(addr);
+  const std::uint64_t tag = tag_of(addr);
+  const Line* base = &lines_[set * static_cast<std::uint64_t>(ways_)];
+  for (int w = 0; w < ways_; ++w) {
+    if (base[w].tag == tag) return true;
+  }
+  return false;
+}
+
+SetAssocCache::Victim SetAssocCache::insert(std::uint64_t addr, Time ready_at,
+                                            bool dirty) {
+  const std::uint64_t set = set_of(addr);
+  const std::uint64_t tag = tag_of(addr);
+  Line* base = &lines_[set * static_cast<std::uint64_t>(ways_)];
+  Line* victim = &base[0];
+  for (int w = 0; w < ways_; ++w) {
+    if (base[w].tag == tag) {  // refresh an in-flight/present line
+      base[w].ready_at = std::min(base[w].ready_at, ready_at);
+      base[w].dirty = base[w].dirty || dirty;
+      return {};
+    }
+    if (base[w].tag == kInvalid) {
+      victim = &base[w];
+      break;
+    }
+    if (base[w].last_use < victim->last_use) victim = &base[w];
+  }
+
+  Victim out;
+  if (victim->tag != kInvalid) {
+    ++stats.evictions;
+    if (victim->dirty) {
+      ++stats.writebacks;
+      out.evicted_dirty = true;
+      out.dirty_addr = victim->tag * static_cast<std::uint64_t>(line_bytes_);
+    }
+  }
+  victim->tag = tag;
+  victim->ready_at = ready_at;
+  victim->dirty = dirty;
+  victim->last_use = ++use_clock_;
+  return out;
+}
+
+}  // namespace emusim::xeon

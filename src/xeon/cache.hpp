@@ -1,0 +1,79 @@
+// Shared last-level cache: set-associative, LRU, write-back/write-allocate.
+//
+// Entries carry a `ready_at` time so lines can be inserted the moment their
+// fill is *issued*: a subsequent access to an in-flight line hits but may
+// not use the data before `ready_at`.  This gives miss-merging and lets the
+// prefetcher insert future lines without extra machinery.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/units.hpp"
+
+namespace emusim::xeon {
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t writebacks = 0;
+  double hit_rate() const {
+    const auto total = hits + misses;
+    return total ? static_cast<double>(hits) / static_cast<double>(total)
+                 : 0.0;
+  }
+};
+
+class SetAssocCache {
+ public:
+  /// `capacity_bytes` split into `ways`-associative sets of `line_bytes`
+  /// lines.  The set count is rounded down to a power of two.
+  SetAssocCache(std::size_t capacity_bytes, int ways, int line_bytes);
+
+  struct Line {
+    std::uint64_t tag = kInvalid;
+    Time ready_at = 0;
+    std::uint64_t last_use = 0;
+    bool dirty = false;
+  };
+
+  /// Probe for the line containing `addr`; nullptr on miss.  Touches LRU.
+  Line* lookup(std::uint64_t addr);
+  /// True if the line is present (no LRU update; used by the prefetcher).
+  bool contains(std::uint64_t addr) const;
+
+  struct Victim {
+    bool evicted_dirty = false;
+    std::uint64_t dirty_addr = 0;  ///< line address needing writeback
+  };
+  /// Install the line containing `addr` (evicting LRU if needed); the line
+  /// becomes usable at `ready_at`.  Returns writeback info for the victim.
+  Victim insert(std::uint64_t addr, Time ready_at, bool dirty);
+
+  std::uint64_t line_addr(std::uint64_t addr) const {
+    return addr & ~(static_cast<std::uint64_t>(line_bytes_) - 1);
+  }
+  int line_bytes() const { return line_bytes_; }
+
+  CacheStats stats;
+
+ private:
+  static constexpr std::uint64_t kInvalid = ~0ULL;
+  std::uint64_t set_of(std::uint64_t addr) const {
+    return (addr / static_cast<std::uint64_t>(line_bytes_)) &
+           (num_sets_ - 1);
+  }
+  std::uint64_t tag_of(std::uint64_t addr) const {
+    return addr / static_cast<std::uint64_t>(line_bytes_);
+  }
+
+  int ways_;
+  int line_bytes_;
+  std::uint64_t num_sets_;
+  std::uint64_t use_clock_ = 0;
+  std::vector<Line> lines_;  // num_sets_ * ways_, set-major
+};
+
+}  // namespace emusim::xeon

@@ -1,0 +1,147 @@
+// Property tests for the distributed allocation views: for every (n, block,
+// across) combination, the striping must partition indices exactly, local
+// addresses must not collide, and the local/global index maps must be
+// mutual inverses.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <tuple>
+
+#include "emu/runtime/alloc.hpp"
+
+namespace emusim::emu {
+namespace {
+
+struct StripeCase {
+  std::size_t n;
+  std::size_t block;
+  int across;  // 0 = all nodelets
+};
+
+class StripedProps : public ::testing::TestWithParam<StripeCase> {};
+
+TEST_P(StripedProps, HomesPartitionAndAddressesAreUnique) {
+  const auto c = GetParam();
+  Machine m(SystemConfig::chick_hw());
+  Striped1D<std::int64_t> v(m, c.n, c.block, c.across);
+  const int nlets = c.across > 0 ? c.across : m.num_nodelets();
+
+  std::map<int, std::set<std::uint64_t>> addrs_by_home;
+  std::map<int, std::size_t> count_by_home;
+  for (std::size_t i = 0; i < c.n; ++i) {
+    const int h = v.home(i);
+    ASSERT_GE(h, 0);
+    ASSERT_LT(h, nlets);
+    // Addresses within a home nodelet must be unique and 8-byte aligned.
+    const auto addr = v.byte_addr(i);
+    EXPECT_EQ(addr % 8, 0u);
+    EXPECT_TRUE(addrs_by_home[h].insert(addr).second)
+        << "address collision at index " << i;
+    ++count_by_home[h];
+  }
+
+  // elems_on must agree with the explicit count, and sum to n.
+  std::size_t total = 0;
+  for (int d = 0; d < nlets; ++d) {
+    EXPECT_EQ(v.elems_on(d), count_by_home[d]) << "nodelet " << d;
+    total += v.elems_on(d);
+  }
+  EXPECT_EQ(total, c.n);
+}
+
+TEST_P(StripedProps, GlobalIndexInvertsLocalEnumeration) {
+  const auto c = GetParam();
+  Machine m(SystemConfig::chick_hw());
+  Striped1D<std::int64_t> v(m, c.n, c.block, c.across);
+  const int nlets = c.across > 0 ? c.across : m.num_nodelets();
+
+  std::set<std::size_t> seen;
+  for (int d = 0; d < nlets; ++d) {
+    for (std::size_t k = 0; k < v.elems_on(d); ++k) {
+      const std::size_t i = v.global_index(d, k);
+      ASSERT_LT(i, c.n);
+      EXPECT_EQ(v.home(i), d);
+      EXPECT_TRUE(seen.insert(i).second) << "duplicate global index " << i;
+    }
+  }
+  EXPECT_EQ(seen.size(), c.n);
+}
+
+TEST_P(StripedProps, BlocksAreContiguousWithinANodelet) {
+  const auto c = GetParam();
+  Machine m(SystemConfig::chick_hw());
+  Striped1D<std::int64_t> v(m, c.n, c.block, c.across);
+  // Within one block, consecutive global indices must be adjacent in the
+  // home nodelet's memory (this is what makes intra-block access local and
+  // row-buffer friendly).
+  for (std::size_t i = 0; i + 1 < c.n; ++i) {
+    if ((i / c.block) == ((i + 1) / c.block)) {
+      EXPECT_EQ(v.home(i), v.home(i + 1));
+      EXPECT_EQ(v.byte_addr(i + 1), v.byte_addr(i) + 8);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, StripedProps,
+    ::testing::Values(StripeCase{1, 1, 0}, StripeCase{7, 1, 0},
+                      StripeCase{8, 1, 0}, StripeCase{64, 1, 0},
+                      StripeCase{100, 1, 0}, StripeCase{100, 4, 0},
+                      StripeCase{96, 8, 0}, StripeCase{1000, 16, 0},
+                      StripeCase{100, 1, 1}, StripeCase{100, 8, 1},
+                      StripeCase{100, 4, 3}, StripeCase{513, 64, 0},
+                      StripeCase{4096, 512, 0}, StripeCase{33, 32, 5}));
+
+TEST(LocalArrayView, FixedHomeAndDenseAddresses) {
+  Machine m(SystemConfig::chick_hw());
+  LocalArray<double> v(m, 100, 3);
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(v.home(i), 3);
+    EXPECT_EQ(v.byte_addr(i), v.byte_addr(0) + i * sizeof(double));
+  }
+}
+
+TEST(ReplicatedView, PerNodeletCopiesHaveDistinctAddresses) {
+  Machine m(SystemConfig::chick_hw());
+  Replicated<std::int64_t> v(m, 10);
+  std::set<std::uint64_t> bases;
+  for (int d = 0; d < m.num_nodelets(); ++d) {
+    bases.insert(v.byte_addr_on(d, 0));
+  }
+  // Bases may legitimately coincide numerically across nodelets (separate
+  // address spaces), but within a machine built fresh they all start at
+  // offset 0 of each arena — what matters is that indexing is dense.
+  for (int d = 0; d < m.num_nodelets(); ++d) {
+    EXPECT_EQ(v.byte_addr_on(d, 7), v.byte_addr_on(d, 0) + 56);
+  }
+}
+
+TEST(ChunkedView, SizesAndHomesMatchRequest) {
+  Machine m(SystemConfig::chick_hw());
+  std::vector<std::size_t> counts = {5, 0, 3, 1, 0, 0, 2, 9};
+  Chunked<int> v(m, counts);
+  for (int d = 0; d < 8; ++d) {
+    EXPECT_EQ(v.chunk_size(d), counts[static_cast<std::size_t>(d)]);
+    EXPECT_EQ(v.home(d), d);
+  }
+  v.at(7, 8) = 77;
+  EXPECT_EQ(v.at(7, 8), 77);
+}
+
+TEST(Views, ArenasAdvancePerAllocation) {
+  Machine m(SystemConfig::chick_hw());
+  Striped1D<std::int64_t> a(m, 64);
+  Striped1D<std::int64_t> b(m, 64);
+  // Two allocations on the same machine must not overlap on any nodelet.
+  for (std::size_t i = 0; i < 64; ++i) {
+    for (std::size_t j = 0; j < 64; ++j) {
+      if (a.home(i) == b.home(j)) {
+        EXPECT_NE(a.byte_addr(i), b.byte_addr(j));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace emusim::emu

@@ -1,0 +1,151 @@
+// The application kernels built on the substrates: BFS and MTTKRP on the
+// Emu model, MTTKRP on the Xeon model.
+#include <gtest/gtest.h>
+
+#include "kernels/bfs_emu.hpp"
+#include "kernels/bfs_xeon.hpp"
+#include "kernels/mttkrp.hpp"
+
+namespace emusim::kernels {
+namespace {
+
+TEST(BfsEmu, GridDistancesVerify) {
+  const auto g = graph::make_grid_2d(16);
+  BfsEmuParams p;
+  p.g = &g;
+  p.source = 0;
+  const auto r = run_bfs_emu(emu::SystemConfig::chick_hw(), p);
+  EXPECT_TRUE(r.verified);
+  EXPECT_EQ(r.levels, 31);  // frontiers at depths 0..30 (diameter 2*(16-1))
+  EXPECT_GT(r.mteps, 0.0);
+}
+
+TEST(BfsEmu, RmatVerifiesDespiteSkew) {
+  const auto g = graph::make_rmat(9, 8, 3);
+  BfsEmuParams p;
+  p.g = &g;
+  // Source must be reachable-rich: pick the max-degree vertex.
+  std::size_t best = 0;
+  for (std::size_t v = 0; v < g.num_vertices; ++v) {
+    if (g.degree(v) > g.degree(best)) best = v;
+  }
+  p.source = best;
+  const auto r = run_bfs_emu(emu::SystemConfig::chick_hw(), p);
+  EXPECT_TRUE(r.verified);
+  EXPECT_GT(r.migrations, 0u);
+}
+
+TEST(BfsEmu, UniformRandomVerifies) {
+  const auto g = graph::make_uniform_random(2000, 8.0, 11);
+  BfsEmuParams p;
+  p.g = &g;
+  p.source = 0;
+  const auto r = run_bfs_emu(emu::SystemConfig::chick_hw(), p);
+  EXPECT_TRUE(r.verified);
+}
+
+TEST(BfsEmu, DeterministicAcrossRuns) {
+  const auto g = graph::make_uniform_random(500, 6.0, 2);
+  BfsEmuParams p;
+  p.g = &g;
+  p.source = 0;
+  const auto a = run_bfs_emu(emu::SystemConfig::chick_hw(), p);
+  const auto b = run_bfs_emu(emu::SystemConfig::chick_hw(), p);
+  EXPECT_EQ(a.elapsed, b.elapsed);
+  EXPECT_EQ(a.migrations, b.migrations);
+}
+
+TEST(BfsXeon, GridAndRandomVerify) {
+  for (int variant = 0; variant < 2; ++variant) {
+    const auto g = variant == 0 ? graph::make_grid_2d(12)
+                                : graph::make_uniform_random(1500, 8.0, 4);
+    BfsXeonParams p;
+    p.g = &g;
+    p.source = 0;
+    p.threads = 8;
+    const auto r = run_bfs_xeon(xeon::SystemConfig::sandy_bridge(), p);
+    EXPECT_TRUE(r.verified) << "variant " << variant;
+    EXPECT_GT(r.mteps, 0.0);
+  }
+}
+
+TEST(BfsXeon, MoreThreadsHelpOnWideGraphs) {
+  const auto g = graph::make_uniform_random(8000, 16.0, 6);
+  BfsXeonParams p;
+  p.g = &g;
+  p.source = 0;
+  p.threads = 1;
+  const auto t1 = run_bfs_xeon(xeon::SystemConfig::sandy_bridge(), p);
+  p.threads = 16;
+  const auto t16 = run_bfs_xeon(xeon::SystemConfig::sandy_bridge(), p);
+  EXPECT_TRUE(t1.verified);
+  EXPECT_TRUE(t16.verified);
+  EXPECT_GT(t16.mteps, 3.0 * t1.mteps);
+}
+
+TEST(MttkrpEmu, TwoDVerifiesWithoutMigrations) {
+  const auto x = tensor::make_random_tensor(64, 48, 48, 2000, 7);
+  MttkrpEmuParams p;
+  p.x = &x;
+  p.rank = 8;
+  p.layout = MttkrpLayout::two_d;
+  const auto r = run_mttkrp_emu(emu::SystemConfig::chick_hw(), p);
+  EXPECT_TRUE(r.verified);
+  EXPECT_EQ(r.migrations, 0u);
+}
+
+TEST(MttkrpEmu, OneDVerifiesAndMigratesHeavily) {
+  const auto x = tensor::make_random_tensor(64, 48, 48, 1000, 7);
+  MttkrpEmuParams p;
+  p.x = &x;
+  p.rank = 8;
+  p.layout = MttkrpLayout::one_d;
+  const auto r = run_mttkrp_emu(emu::SystemConfig::chick_hw(), p);
+  EXPECT_TRUE(r.verified);
+  // Several word hops per nonzero (value + three striped coordinates).
+  EXPECT_GT(r.migrations, x.nnz());
+}
+
+TEST(MttkrpEmu, TwoDBeatsOneD) {
+  const auto x = tensor::make_random_tensor(64, 48, 48, 4000, 9);
+  MttkrpEmuParams p;
+  p.x = &x;
+  p.rank = 8;
+  p.layout = MttkrpLayout::two_d;
+  const auto two = run_mttkrp_emu(emu::SystemConfig::chick_hw(), p);
+  p.layout = MttkrpLayout::one_d;
+  const auto one = run_mttkrp_emu(emu::SystemConfig::chick_hw(), p);
+  EXPECT_GT(two.mflops, 1.5 * one.mflops);
+}
+
+class MttkrpRanks : public ::testing::TestWithParam<int> {};
+
+TEST_P(MttkrpRanks, XeonVerifiesAcrossRanks) {
+  const auto x = tensor::make_random_tensor(100, 80, 80, 3000, 13);
+  MttkrpXeonParams p;
+  p.x = &x;
+  p.rank = GetParam();
+  p.threads = 14;
+  p.grain = 256;
+  const auto r = run_mttkrp_xeon(xeon::SystemConfig::haswell(), p);
+  EXPECT_TRUE(r.verified);
+  EXPECT_GT(r.mflops, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, MttkrpRanks, ::testing::Values(1, 4, 8, 16));
+
+TEST(MttkrpXeon, ScalesWithThreads) {
+  const auto x = tensor::make_random_tensor(400, 200, 200, 40000, 17);
+  MttkrpXeonParams p;
+  p.x = &x;
+  p.rank = 8;
+  p.grain = 512;
+  p.threads = 1;
+  const auto t1 = run_mttkrp_xeon(xeon::SystemConfig::haswell(), p);
+  p.threads = 16;
+  const auto t16 = run_mttkrp_xeon(xeon::SystemConfig::haswell(), p);
+  EXPECT_GT(t16.mflops, 4.0 * t1.mflops);
+}
+
+}  // namespace
+}  // namespace emusim::kernels

@@ -1,0 +1,109 @@
+// Configuration matrix smoke tests: every named machine configuration must
+// construct and run a representative kernel correctly.  Catches config
+// regressions (topology arithmetic, clock scaling, resource sizing) across
+// the whole configuration space.
+#include <gtest/gtest.h>
+
+#include "emu/machine.hpp"
+#include "kernels/chase_emu.hpp"
+#include "kernels/chase_xeon.hpp"
+#include "kernels/stream_emu.hpp"
+#include "kernels/stream_xeon.hpp"
+
+namespace emusim {
+namespace {
+
+using EmuConfigFn = emu::SystemConfig (*)();
+
+emu::SystemConfig fullspeed8() { return emu::SystemConfig::fullspeed_multinode(8); }
+emu::SystemConfig fullspeed2() { return emu::SystemConfig::fullspeed_multinode(2); }
+
+class EmuConfigs : public ::testing::TestWithParam<EmuConfigFn> {};
+
+TEST_P(EmuConfigs, TopologyIsConsistent) {
+  const auto cfg = GetParam()();
+  emu::Machine m(cfg);
+  EXPECT_EQ(m.num_nodelets(), cfg.nodes * cfg.nodelets_per_node);
+  EXPECT_GT(m.cycle(), 0);
+  for (int d = 0; d < m.num_nodelets(); ++d) {
+    EXPECT_EQ(m.nodelet(d).slots().available(), cfg.slots_per_nodelet());
+    EXPECT_EQ(m.nodelet(d).num_cores(), cfg.gcs_per_nodelet);
+  }
+  EXPECT_EQ(m.node_index_of(m.num_nodelets() - 1), cfg.nodes - 1);
+}
+
+TEST_P(EmuConfigs, StreamRunsAndVerifies) {
+  const auto cfg = GetParam()();
+  kernels::StreamParams p;
+  p.n = 1 << 13;
+  p.threads = 64;
+  p.strategy = kernels::SpawnStrategy::recursive_remote_spawn;
+  const auto r = kernels::run_stream_add(cfg, p);
+  EXPECT_TRUE(r.verified);
+  EXPECT_GT(r.mb_per_sec, 0.0);
+}
+
+TEST_P(EmuConfigs, ChaseRunsAndVerifies) {
+  const auto cfg = GetParam()();
+  kernels::ChaseEmuParams p;
+  p.n = 1 << 12;
+  p.block = 8;
+  p.threads = 32;
+  const auto r = kernels::run_chase_emu(cfg, p);
+  EXPECT_TRUE(r.verified);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, EmuConfigs,
+    ::testing::Values(&emu::SystemConfig::chick_hw,
+                      &emu::SystemConfig::chick_as_simulated,
+                      &emu::SystemConfig::chick_fullspeed, &fullspeed2,
+                      &fullspeed8));
+
+TEST(EmuConfigs2, FasterDesignPointsAreActuallyFaster) {
+  kernels::StreamParams p;
+  p.n = 1 << 14;
+  p.threads = 256;
+  p.strategy = kernels::SpawnStrategy::recursive_remote_spawn;
+  const auto hw = kernels::run_stream_add(emu::SystemConfig::chick_hw(), p);
+  const auto full =
+      kernels::run_stream_add(emu::SystemConfig::chick_fullspeed(), p);
+  // 2x clock and 4 GCs: comfortably more than 2x STREAM.
+  EXPECT_GT(full.mb_per_sec, 2.0 * hw.mb_per_sec);
+}
+
+using XeonConfigFn = xeon::SystemConfig (*)();
+
+class XeonConfigs : public ::testing::TestWithParam<XeonConfigFn> {};
+
+TEST_P(XeonConfigs, StreamAndChaseRun) {
+  const auto cfg = GetParam()();
+  kernels::StreamXeonParams sp;
+  sp.n = 1 << 15;
+  sp.threads = cfg.cores / 2;
+  const auto sr = kernels::run_stream_xeon(cfg, sp);
+  EXPECT_TRUE(sr.verified);
+  EXPECT_LT(sr.mb_per_sec, cfg.peak_bytes_per_sec() / 1e6 * 1.01);
+
+  kernels::ChaseXeonParams cp;
+  cp.n = 1 << 13;
+  cp.block = 16;
+  cp.threads = 8;
+  const auto cr = kernels::run_chase_xeon(cfg, cp);
+  EXPECT_TRUE(cr.verified);
+}
+
+INSTANTIATE_TEST_SUITE_P(All, XeonConfigs,
+                         ::testing::Values(&xeon::SystemConfig::sandy_bridge,
+                                           &xeon::SystemConfig::haswell));
+
+TEST(XeonConfigs2, PeakBandwidthsMatchPaperSpecs) {
+  EXPECT_NEAR(xeon::SystemConfig::sandy_bridge().peak_bytes_per_sec(),
+              51.2e9, 0.1e9);  // paper: 51.2 GB/s
+  // Haswell: 16 channels of DDR4-1333.
+  EXPECT_NEAR(xeon::SystemConfig::haswell().peak_bytes_per_sec(),
+              16 * 1333e6 * 8, 1e9);
+}
+
+}  // namespace
+}  // namespace emusim

@@ -1,0 +1,107 @@
+// Every kernel runner must be bit-for-bit reproducible: identical params ->
+// identical simulated time and statistics.  This is what makes the figure
+// harnesses trustworthy regression artifacts.
+#include <gtest/gtest.h>
+
+#include "kernels/chase_emu.hpp"
+#include "kernels/chase_xeon.hpp"
+#include "kernels/gups.hpp"
+#include "kernels/pingpong.hpp"
+#include "kernels/spmv_emu.hpp"
+#include "kernels/spmv_xeon.hpp"
+#include "kernels/stream_emu.hpp"
+#include "kernels/stream_xeon.hpp"
+
+namespace emusim::kernels {
+namespace {
+
+TEST(Determinism, StreamEmu) {
+  StreamParams p;
+  p.n = 1 << 14;
+  p.threads = 128;
+  p.strategy = SpawnStrategy::recursive_remote_spawn;
+  const auto a = run_stream_add(emu::SystemConfig::chick_hw(), p);
+  const auto b = run_stream_add(emu::SystemConfig::chick_hw(), p);
+  EXPECT_EQ(a.elapsed, b.elapsed);
+  EXPECT_EQ(a.migrations, b.migrations);
+  EXPECT_EQ(a.spawns, b.spawns);
+}
+
+TEST(Determinism, ChaseEmu) {
+  ChaseEmuParams p;
+  p.n = 1 << 13;
+  p.block = 4;
+  p.threads = 64;
+  const auto a = run_chase_emu(emu::SystemConfig::chick_hw(), p);
+  const auto b = run_chase_emu(emu::SystemConfig::chick_hw(), p);
+  EXPECT_EQ(a.elapsed, b.elapsed);
+  EXPECT_EQ(a.migrations, b.migrations);
+}
+
+TEST(Determinism, SpmvEmuAllLayouts) {
+  for (auto layout :
+       {SpmvLayout::local, SpmvLayout::one_d, SpmvLayout::two_d}) {
+    SpmvEmuParams p;
+    p.laplacian_n = 25;
+    p.layout = layout;
+    const auto a = run_spmv_emu(emu::SystemConfig::chick_hw(), p);
+    const auto b = run_spmv_emu(emu::SystemConfig::chick_hw(), p);
+    EXPECT_EQ(a.elapsed, b.elapsed) << to_string(layout);
+    EXPECT_EQ(a.migrations, b.migrations) << to_string(layout);
+  }
+}
+
+TEST(Determinism, PingPong) {
+  PingPongParams p;
+  p.threads = 16;
+  p.round_trips = 100;
+  const auto a = run_pingpong(emu::SystemConfig::chick_hw(), p);
+  const auto b = run_pingpong(emu::SystemConfig::chick_hw(), p);
+  EXPECT_EQ(a.elapsed, b.elapsed);
+}
+
+TEST(Determinism, StreamXeon) {
+  StreamXeonParams p;
+  p.n = 1 << 15;
+  p.threads = 8;
+  const auto a = run_stream_xeon(xeon::SystemConfig::sandy_bridge(), p);
+  const auto b = run_stream_xeon(xeon::SystemConfig::sandy_bridge(), p);
+  EXPECT_EQ(a.elapsed, b.elapsed);
+}
+
+TEST(Determinism, ChaseXeon) {
+  ChaseXeonParams p;
+  p.n = 1 << 14;
+  p.block = 16;
+  p.threads = 8;
+  const auto a = run_chase_xeon(xeon::SystemConfig::sandy_bridge(), p);
+  const auto b = run_chase_xeon(xeon::SystemConfig::sandy_bridge(), p);
+  EXPECT_EQ(a.elapsed, b.elapsed);
+  EXPECT_EQ(a.row_hits, b.row_hits);
+}
+
+TEST(Determinism, SpmvXeon) {
+  SpmvXeonParams p;
+  p.laplacian_n = 30;
+  p.impl = SpmvXeonImpl::cilk_for;
+  p.threads = 14;
+  const auto a = run_spmv_xeon(xeon::SystemConfig::haswell(), p);
+  const auto b = run_spmv_xeon(xeon::SystemConfig::haswell(), p);
+  EXPECT_EQ(a.elapsed, b.elapsed);
+}
+
+TEST(Determinism, Gups) {
+  GupsParams p;
+  p.table_words = 1 << 12;
+  p.updates = 1 << 11;
+  p.threads = 32;
+  const auto a = run_gups_emu(emu::SystemConfig::chick_hw(), p);
+  const auto b = run_gups_emu(emu::SystemConfig::chick_hw(), p);
+  EXPECT_EQ(a.elapsed, b.elapsed);
+  const auto c = run_gups_xeon(xeon::SystemConfig::sandy_bridge(), p);
+  const auto d = run_gups_xeon(xeon::SystemConfig::sandy_bridge(), p);
+  EXPECT_EQ(c.elapsed, d.elapsed);
+}
+
+}  // namespace
+}  // namespace emusim::kernels

@@ -1,0 +1,245 @@
+// Emu machine model: threadlet lifecycle, spawn/sync semantics, migration
+// accounting, threadlet-slot limits, memory-side operations, allocators.
+#include "emu/machine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "emu/runtime/alloc.hpp"
+
+namespace emusim::emu {
+namespace {
+
+SystemConfig tiny_config() {
+  SystemConfig c = SystemConfig::chick_hw();
+  return c;
+}
+
+sim::Op<> noop(Context&) { co_return; }
+
+TEST(Machine, Topology) {
+  Machine m(SystemConfig::chick_hw());
+  EXPECT_EQ(m.num_nodelets(), 8);
+  EXPECT_EQ(m.cfg().slots_per_nodelet(), 64);
+  EXPECT_EQ(m.cycle(), 6667);
+
+  Machine full(SystemConfig::fullspeed_multinode(8));
+  EXPECT_EQ(full.num_nodelets(), 64);
+  EXPECT_EQ(full.cfg().slots_per_nodelet(), 256);
+  EXPECT_EQ(full.node_index_of(0), 0);
+  EXPECT_EQ(full.node_index_of(63), 7);
+}
+
+TEST(Machine, RootThreadRunsAndCompletes) {
+  Machine m(tiny_config());
+  const Time elapsed = m.run_root(noop);
+  EXPECT_GT(elapsed, 0);
+  EXPECT_EQ(m.stats.threads_completed, 1u);
+  EXPECT_EQ(m.stats.spawns, 1u);
+}
+
+sim::Op<> root_migrates(Context& ctx) {
+  EXPECT_EQ(ctx.nodelet(), 0);
+  co_await ctx.migrate_to(5);
+  EXPECT_EQ(ctx.nodelet(), 5);
+  co_await ctx.migrate_to(5);  // no-op
+  co_await ctx.migrate_to(2);
+  EXPECT_EQ(ctx.nodelet(), 2);
+}
+
+TEST(Machine, MigrationMovesThreadAndCounts) {
+  Machine m(tiny_config());
+  m.run_root(root_migrates);
+  EXPECT_EQ(m.stats.migrations, 2u);  // the self-migration is free
+  EXPECT_EQ(m.nodelet(5).stats.thread_arrivals, 1u);
+  EXPECT_EQ(m.nodelet(2).stats.thread_arrivals, 1u);
+  EXPECT_EQ(m.stats.migration_latency_ns.count(), 2u);
+  // Per-migration latency should be in the paper's 1-2 us range.
+  const double mean_ns = m.stats.migration_latency_ns.summary().mean();
+  EXPECT_GT(mean_ns, 500.0);
+  EXPECT_LT(mean_ns, 3000.0);
+}
+
+sim::Op<> spawn_children(Context& ctx, int count, std::vector<int>* where,
+                         Time child_hold = 0) {
+  for (int i = 0; i < count; ++i) {
+    co_await ctx.spawn([where, child_hold](Context& c) -> sim::Op<> {
+      where->push_back(c.nodelet());
+      co_await c.issue(10);
+      if (child_hold > 0) co_await c.engine().sleep(child_hold);
+    });
+  }
+  co_await ctx.sync();
+  // After sync, no children remain.
+  EXPECT_EQ(ctx.live_children(), 0);
+}
+
+TEST(Machine, LocalSpawnAndSync) {
+  Machine m(tiny_config());
+  std::vector<int> where;
+  m.run_root([&](Context& ctx) { return spawn_children(ctx, 10, &where); });
+  EXPECT_EQ(where.size(), 10u);
+  for (int n : where) EXPECT_EQ(n, 0);  // local spawns start on the parent's nodelet
+  EXPECT_EQ(m.stats.threads_completed, 11u);
+  EXPECT_EQ(m.stats.remote_spawns, 0u);
+}
+
+sim::Op<> remote_spawner(Context& ctx, std::vector<int>* where) {
+  for (int d = 0; d < ctx.machine().num_nodelets(); ++d) {
+    co_await ctx.spawn_at(d, [where, d](Context& c) -> sim::Op<> {
+      EXPECT_EQ(c.nodelet(), d);
+      where->push_back(c.nodelet());
+      co_await c.issue(1);
+    });
+  }
+  co_await ctx.sync();
+}
+
+TEST(Machine, RemoteSpawnLandsOnTarget) {
+  Machine m(tiny_config());
+  std::vector<int> where;
+  m.run_root([&](Context& ctx) { return remote_spawner(ctx, &where); });
+  EXPECT_EQ(where.size(), 8u);
+  EXPECT_EQ(m.stats.remote_spawns, 8u);
+  // A remote spawn is not a migration.
+  EXPECT_EQ(m.stats.migrations, 0u);
+}
+
+TEST(Machine, SlotExhaustionElidesSerially) {
+  // Spawning far more long-lived local threads than slots must complete
+  // (serial elision), and residency must never exceed the slot count.  The
+  // children hold their slots for many cycles so the nodelet fills up.
+  Machine m(tiny_config());
+  std::vector<int> where;
+  m.run_root([&](Context& ctx) {
+    return spawn_children(ctx, 300, &where, /*child_hold=*/us(500));
+  });
+  EXPECT_EQ(where.size(), 300u);
+  EXPECT_LE(m.nodelet(0).stats.max_resident, 64);
+  EXPECT_GT(m.stats.inline_spawns, 0u);
+  EXPECT_EQ(m.stats.threads_completed + m.stats.inline_spawns, 301u);
+}
+
+sim::Op<> reader(Context& ctx, Striped1D<std::int64_t>* arr, std::int64_t* sum) {
+  for (std::size_t i = 0; i < arr->size(); ++i) {
+    const int h = arr->home(i);
+    if (h != ctx.nodelet()) co_await ctx.migrate_to(h);
+    co_await ctx.read_local(arr->byte_addr(i), 8);
+    *sum += (*arr)[i];
+  }
+}
+
+TEST(Machine, StripedWalkMigratesPerElement) {
+  Machine m(tiny_config());
+  Striped1D<std::int64_t> arr(m, 64, /*block=*/1);
+  for (std::size_t i = 0; i < 64; ++i) arr[i] = static_cast<std::int64_t>(i);
+  std::int64_t sum = 0;
+  m.run_root([&](Context& ctx) { return reader(ctx, &arr, &sum); });
+  EXPECT_EQ(sum, 64 * 63 / 2);
+  // Walking an element-striped array: 8 nodelets, so 7 of every 8 steps
+  // migrate (plus the walk cycles around 8 times).
+  EXPECT_EQ(m.stats.migrations, 63u);
+}
+
+TEST(Machine, BlockStripedWalkMigratesPerBlock) {
+  Machine m(tiny_config());
+  Striped1D<std::int64_t> arr(m, 64, /*block=*/8);
+  std::int64_t sum = 0;
+  m.run_root([&](Context& ctx) { return reader(ctx, &arr, &sum); });
+  EXPECT_EQ(m.stats.migrations, 7u);  // one per block boundary
+}
+
+sim::Op<> remote_writer(Context& ctx, LocalArray<std::int64_t>* arr) {
+  // Memory-side writes from nodelet 0 to arrays on nodelet 3: no migration.
+  for (std::size_t i = 0; i < arr->size(); ++i) {
+    (*arr)[i] = 7;
+    ctx.write_remote(arr->home(), arr->byte_addr(i), 8);
+    co_await ctx.issue(2);
+  }
+}
+
+TEST(Machine, MemorySideWritesDoNotMigrate) {
+  Machine m(tiny_config());
+  LocalArray<std::int64_t> arr(m, 32, /*nodelet=*/3);
+  m.run_root([&](Context& ctx) { return remote_writer(ctx, &arr); });
+  EXPECT_EQ(m.stats.migrations, 0u);
+  EXPECT_EQ(m.nodelet(3).stats.remote_writes_in, 32u);
+  EXPECT_EQ(arr[31], 7);
+}
+
+TEST(Machine, ReplicatedReadsAreAlwaysLocal) {
+  Machine m(tiny_config());
+  Replicated<std::int64_t> x(m, 16);
+  for (std::size_t i = 0; i < 16; ++i) x[i] = static_cast<std::int64_t>(i);
+  std::int64_t sum = 0;
+  m.run_root([&](Context& ctx) -> sim::Op<> {
+    co_await ctx.migrate_to(4);
+    for (std::size_t i = 0; i < 16; ++i) {
+      co_await x.read(ctx, i);
+      sum += x[i];
+    }
+  });
+  EXPECT_EQ(sum, 120);
+  EXPECT_EQ(m.stats.migrations, 1u);  // only the explicit one
+  EXPECT_EQ(m.nodelet(4).stats.reads, 16u);
+}
+
+TEST(Machine, NestedSpawnTreeSyncs) {
+  // A recursive spawn tree: every level spawns two children until depth 0.
+  Machine m(tiny_config());
+  std::int64_t leaves = 0;
+  struct Rec {
+    static sim::Op<> go(Context& ctx, int depth, std::int64_t* leaves) {
+      if (depth == 0) {
+        ++*leaves;
+        co_await ctx.issue(1);
+        co_return;
+      }
+      for (int i = 0; i < 2; ++i) {
+        co_await ctx.spawn([depth, leaves](Context& c) {
+          return Rec::go(c, depth - 1, leaves);
+        });
+      }
+      co_await ctx.sync();
+    }
+  };
+  m.run_root([&](Context& ctx) { return Rec::go(ctx, 6, &leaves); });
+  EXPECT_EQ(leaves, 64);
+}
+
+TEST(Machine, AllocatorAlignsAndAdvances) {
+  Machine m(tiny_config());
+  auto& n0 = m.nodelet(0);
+  const auto a = n0.allocate(10, 8);
+  const auto b = n0.allocate(8, 8);
+  EXPECT_EQ(a % 8, 0u);
+  EXPECT_EQ(b % 8, 0u);
+  EXPECT_GE(b, a + 10);
+  // Independent nodelets have independent address spaces.
+  EXPECT_EQ(m.nodelet(1).allocate(8), 0u);
+}
+
+TEST(Machine, ChunkedLayoutHomesPerChunk) {
+  Machine m(tiny_config());
+  std::vector<std::size_t> counts = {4, 0, 2, 0, 0, 0, 0, 1};
+  Chunked<double> c(m, counts);
+  EXPECT_EQ(c.chunk_size(0), 4u);
+  EXPECT_EQ(c.chunk_size(2), 2u);
+  c.at(0, 3) = 2.5;
+  EXPECT_EQ(c.at(0, 3), 2.5);
+  EXPECT_EQ(c.home(7), 7);
+}
+
+TEST(Machine, DeterministicElapsedTime) {
+  auto run = [] {
+    Machine m(tiny_config());
+    std::vector<int> where;
+    return m.run_root(
+        [&](Context& ctx) { return spawn_children(ctx, 50, &where); });
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace emusim::emu

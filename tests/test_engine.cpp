@@ -1,0 +1,131 @@
+// DES engine fundamentals: event ordering, determinism, coroutine sleeps,
+// Task lifecycle and completion hooks.
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/task.hpp"
+
+namespace emusim::sim {
+namespace {
+
+TEST(Engine, StartsAtZeroAndIdle) {
+  Engine eng;
+  EXPECT_EQ(eng.now(), 0);
+  EXPECT_TRUE(eng.idle());
+  EXPECT_FALSE(eng.step());
+}
+
+TEST(Engine, CallbacksRunInTimeOrder) {
+  Engine eng;
+  std::vector<int> order;
+  eng.call_at(ns(30), [&] { order.push_back(3); });
+  eng.call_at(ns(10), [&] { order.push_back(1); });
+  eng.call_at(ns(20), [&] { order.push_back(2); });
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(eng.now(), ns(30));
+}
+
+TEST(Engine, TiesBreakByInsertionOrder) {
+  Engine eng;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    eng.call_at(ns(5), [&order, i] { order.push_back(i); });
+  }
+  eng.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Engine, NestedScheduling) {
+  Engine eng;
+  int fired = 0;
+  eng.call_at(ns(10), [&] {
+    eng.call_in(ns(5), [&] {
+      ++fired;
+      EXPECT_EQ(eng.now(), ns(15));
+    });
+  });
+  eng.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Engine, RunUntilStopsAtDeadline) {
+  Engine eng;
+  int fired = 0;
+  eng.call_at(ns(10), [&] { ++fired; });
+  eng.call_at(ns(100), [&] { ++fired; });
+  eng.run_until(ns(50));
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(eng.idle());
+  eng.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Engine, EventCountAccumulates) {
+  Engine eng;
+  for (int i = 0; i < 7; ++i) eng.call_at(i, [] {});
+  eng.run();
+  EXPECT_EQ(eng.events_processed(), 7u);
+}
+
+Task sleeper(Engine& eng, std::vector<Time>& wakeups) {
+  co_await eng.sleep(ns(10));
+  wakeups.push_back(eng.now());
+  co_await eng.sleep(ns(25));
+  wakeups.push_back(eng.now());
+  co_await eng.sleep(0);
+  wakeups.push_back(eng.now());
+}
+
+TEST(Task, SleepAdvancesTime) {
+  Engine eng;
+  std::vector<Time> wakeups;
+  auto t = sleeper(eng, wakeups);
+  t.start();
+  eng.run();
+  EXPECT_EQ(wakeups, (std::vector<Time>{ns(10), ns(35), ns(35)}));
+}
+
+Task trivial(Engine& eng) { co_await eng.sleep(ns(1)); }
+
+TEST(Task, OnCompleteFiresOnce) {
+  Engine eng;
+  int completions = 0;
+  auto t = trivial(eng);
+  t.on_complete([&] { ++completions; });
+  t.start();
+  eng.run();
+  EXPECT_EQ(completions, 1);
+}
+
+TEST(Task, UnstartedTaskDoesNotLeakOrFire) {
+  Engine eng;
+  int completions = 0;
+  {
+    auto t = trivial(eng);
+    t.on_complete([&] { ++completions; });
+    // destroyed without start(): the frame must be freed (ASAN would catch
+    // a leak) and the hook must not run
+  }
+  eng.run();
+  EXPECT_EQ(completions, 0);
+}
+
+TEST(Task, ManyConcurrentTasksDeterministic) {
+  auto run_once = [] {
+    Engine eng;
+    std::vector<Time> wakeups;
+    std::vector<Task> tasks;
+    for (int i = 0; i < 100; ++i) tasks.push_back(sleeper(eng, wakeups));
+    for (auto& t : tasks) t.start();
+    eng.run();
+    return wakeups;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace emusim::sim

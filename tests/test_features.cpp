@@ -1,0 +1,109 @@
+// Newer model features: NUMA socket penalty (Xeon), value-returning remote
+// atomics (Emu), and their interactions.
+#include <gtest/gtest.h>
+
+#include "emu/machine.hpp"
+#include "emu/runtime/alloc.hpp"
+#include "xeon/machine.hpp"
+
+namespace emusim {
+namespace {
+
+TEST(XeonNuma, SocketMapping) {
+  xeon::Machine m(xeon::SystemConfig::sandy_bridge());
+  EXPECT_EQ(m.cfg().sockets, 2);
+  EXPECT_EQ(m.socket_of_core(0), 0);
+  EXPECT_EQ(m.socket_of_core(7), 0);
+  EXPECT_EQ(m.socket_of_core(8), 1);
+  EXPECT_EQ(m.socket_of_core(15), 1);
+  // Channels interleave across sockets.
+  const auto il = m.cfg().channel_interleave_bytes;
+  EXPECT_EQ(m.socket_of_addr(0), 0);
+  EXPECT_EQ(m.socket_of_addr(il), 1);
+  EXPECT_EQ(m.socket_of_addr(2 * il), 0);
+}
+
+sim::Task xeon_load(xeon::Machine* m, int core, std::uint64_t addr,
+                    Time* done) {
+  xeon::CpuContext ctx(*m, core);
+  co_await ctx.load(addr);
+  *done = m->engine().now();
+}
+
+TEST(XeonNuma, RemoteSocketMissesPayTheHop) {
+  // A core-0 (socket 0) miss to a socket-1 line costs remote_socket_latency
+  // more than a socket-0 line.
+  const auto cfg = xeon::SystemConfig::sandy_bridge();
+  auto run = [&](std::uint64_t addr) {
+    xeon::Machine m(cfg);
+    Time done = 0;
+    auto t = xeon_load(&m, 0, addr, &done);
+    t.start();
+    m.engine().run();
+    return done;
+  };
+  const Time local = run(0);                                // socket 0
+  const Time remote = run(cfg.channel_interleave_bytes);    // socket 1
+  EXPECT_EQ(remote - local, cfg.remote_socket_latency);
+}
+
+TEST(XeonNuma, HaswellHasFourSockets) {
+  const auto cfg = xeon::SystemConfig::haswell();
+  EXPECT_EQ(cfg.sockets, 4);
+  xeon::Machine m(cfg);
+  EXPECT_EQ(m.socket_of_core(55), 3);
+}
+
+sim::Op<> fetch_add_worker(emu::Context& ctx,
+                           emu::LocalArray<std::int64_t>* counter, int times) {
+  for (int i = 0; i < times; ++i) {
+    (*counter)[0] += 1;
+    co_await ctx.atomic_fetch_remote(counter->home(), counter->byte_addr(0));
+  }
+}
+
+TEST(EmuFetchAtomic, DoesNotMigrateButBlocks) {
+  emu::Machine m(emu::SystemConfig::chick_hw());
+  emu::LocalArray<std::int64_t> counter(m, 1, /*nodelet=*/5);
+  counter[0] = 0;
+  const Time elapsed = m.run_root([&](emu::Context& ctx) -> sim::Op<> {
+    co_await fetch_add_worker(ctx, &counter, 10);
+  });
+  EXPECT_EQ(counter[0], 10);
+  EXPECT_EQ(m.stats.migrations, 0u);
+  EXPECT_EQ(m.nodelet(5).stats.atomics_in, 10u);
+  // Each fetch-atomic blocks for about one migration-latency round trip.
+  EXPECT_GT(elapsed, 10 * m.cfg().migration_latency * 9 / 10);
+}
+
+TEST(EmuFetchAtomic, CheaperThanMigratingRoundTrip) {
+  // fetch-add to a remote counter vs migrating there and back, per update.
+  const auto cfg = emu::SystemConfig::chick_hw();
+  Time t_atomic, t_migrate;
+  {
+    emu::Machine m(cfg);
+    emu::LocalArray<std::int64_t> c(m, 1, 5);
+    c[0] = 0;
+    t_atomic = m.run_root([&](emu::Context& ctx) -> sim::Op<> {
+      co_await fetch_add_worker(ctx, &c, 50);
+    });
+  }
+  {
+    emu::Machine m(cfg);
+    emu::LocalArray<std::int64_t> c(m, 1, 5);
+    c[0] = 0;
+    t_migrate = m.run_root([&](emu::Context& ctx) -> sim::Op<> {
+      for (int i = 0; i < 50; ++i) {
+        co_await ctx.migrate_to(5);
+        co_await ctx.read_local(c.byte_addr(0), 8);
+        c[0] += 1;
+        ctx.write_local(c.byte_addr(0), 8);
+        co_await ctx.migrate_to(0);
+      }
+    });
+  }
+  EXPECT_LT(t_atomic, t_migrate);
+}
+
+}  // namespace
+}  // namespace emusim

@@ -1,0 +1,74 @@
+// Graph substrate: generator structure, validation, BFS reference.
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace emusim::graph {
+namespace {
+
+TEST(GridGraph, StructureAndDegrees) {
+  const Graph g = make_grid_2d(4);
+  EXPECT_EQ(g.num_vertices, 16u);
+  // 2*n*(n-1) undirected edges -> 2x directed.
+  EXPECT_EQ(g.num_directed_edges(), 2u * 2 * 4 * 3);
+  EXPECT_TRUE(validate(g));
+  // Corner degree 2, edge degree 3, interior degree 4.
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(1), 3u);
+  EXPECT_EQ(g.degree(5), 4u);
+}
+
+TEST(GridGraph, BfsDistancesAreManhattan) {
+  const std::size_t n = 6;
+  const Graph g = make_grid_2d(n);
+  const auto dist = bfs_reference(g, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_EQ(dist[i * n + j], static_cast<std::uint32_t>(i + j));
+    }
+  }
+}
+
+class RandomGraphs : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomGraphs, UniformValidatesAndIsDeterministic) {
+  const Graph a = make_uniform_random(500, 8.0, GetParam());
+  const Graph b = make_uniform_random(500, 8.0, GetParam());
+  EXPECT_TRUE(validate(a));
+  EXPECT_EQ(a.adj, b.adj);
+  EXPECT_EQ(a.row_ptr, b.row_ptr);
+  // Expected degree within a loose band (dedup removes a few).
+  const double avg =
+      static_cast<double>(a.num_directed_edges()) / a.num_vertices;
+  EXPECT_GT(avg, 5.0);
+  EXPECT_LT(avg, 9.0);
+}
+
+TEST_P(RandomGraphs, RmatValidatesAndIsSkewed) {
+  const Graph g = make_rmat(9, 8, GetParam());
+  EXPECT_TRUE(validate(g));
+  EXPECT_EQ(g.num_vertices, 512u);
+  std::size_t max_deg = 0;
+  for (std::size_t v = 0; v < g.num_vertices; ++v) {
+    max_deg = std::max(max_deg, g.degree(v));
+  }
+  const double avg =
+      static_cast<double>(g.num_directed_edges()) / g.num_vertices;
+  // Scale-free: the hub's degree dwarfs the average.
+  EXPECT_GT(static_cast<double>(max_deg), 4.0 * avg);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomGraphs, ::testing::Values(1, 7, 99));
+
+TEST(BfsReference, DisconnectedVerticesUnreached) {
+  // Two vertices, no edges.
+  Graph g;
+  g.num_vertices = 2;
+  g.row_ptr = {0, 0, 0};
+  const auto dist = bfs_reference(g, 0);
+  EXPECT_EQ(dist[0], 0u);
+  EXPECT_EQ(dist[1], kBfsUnreached);
+}
+
+}  // namespace
+}  // namespace emusim::graph

@@ -1,0 +1,103 @@
+// Behavioural tests of the Xeon-side kernels.
+#include <gtest/gtest.h>
+
+#include "kernels/gups.hpp"
+#include "kernels/spmv_xeon.hpp"
+#include "kernels/stream_xeon.hpp"
+
+namespace emusim::kernels {
+namespace {
+
+xeon::SystemConfig snb() { return xeon::SystemConfig::sandy_bridge(); }
+xeon::SystemConfig hsw() { return xeon::SystemConfig::haswell(); }
+
+class SpmvImpls : public ::testing::TestWithParam<SpmvXeonImpl> {};
+
+TEST_P(SpmvImpls, ComputesCorrectProduct) {
+  SpmvXeonParams p;
+  p.laplacian_n = 40;
+  p.impl = GetParam();
+  p.threads = 8;
+  const auto r = run_spmv_xeon(hsw(), p);
+  EXPECT_TRUE(r.verified);
+  EXPECT_GT(r.mb_per_sec, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(All, SpmvImpls,
+                         ::testing::Values(SpmvXeonImpl::mkl,
+                                           SpmvXeonImpl::cilk_for,
+                                           SpmvXeonImpl::cilk_spawn));
+
+TEST(SpmvXeon, ScalesWithMatrixSize) {
+  // Fig 9b: MKL-like and cilk_for improve with n (overheads amortize).
+  for (auto impl : {SpmvXeonImpl::mkl, SpmvXeonImpl::cilk_for}) {
+    SpmvXeonParams p;
+    p.impl = impl;
+    p.threads = 56;
+    p.laplacian_n = 25;
+    const auto small = run_spmv_xeon(hsw(), p);
+    p.laplacian_n = 200;
+    const auto large = run_spmv_xeon(hsw(), p);
+    EXPECT_GT(large.mb_per_sec, 1.5 * small.mb_per_sec) << to_string(impl);
+  }
+}
+
+TEST(SpmvXeon, CilkSpawnNeedsEnoughWorkForItsGrain) {
+  // With grain 16384, a tiny matrix yields a single task (serial), a large
+  // one enough tasks to engage the machine.
+  SpmvXeonParams p;
+  p.impl = SpmvXeonImpl::cilk_spawn;
+  p.threads = 56;
+  p.grain = 16384;
+  p.laplacian_n = 25;  // 2.6k nnz -> one task
+  const auto tiny = run_spmv_xeon(hsw(), p);
+  p.laplacian_n = 400;  // 800k nnz -> ~49 tasks
+  const auto big = run_spmv_xeon(hsw(), p);
+  EXPECT_GT(big.mb_per_sec, 5.0 * tiny.mb_per_sec);
+}
+
+TEST(SpmvXeon, LargeGrainBeatsTinyGrainOnLargeMatrices) {
+  // The paper's §IV-C finding, CPU side.
+  SpmvXeonParams p;
+  p.impl = SpmvXeonImpl::cilk_spawn;
+  p.threads = 56;
+  p.laplacian_n = 400;
+  p.grain = 16;
+  const auto fine = run_spmv_xeon(hsw(), p);
+  p.grain = 16384;
+  const auto coarse = run_spmv_xeon(hsw(), p);
+  EXPECT_GT(coarse.mb_per_sec, 1.5 * fine.mb_per_sec);
+}
+
+TEST(StreamXeon, SingleThreadIsComputeBoundNotBusBound) {
+  StreamXeonParams p;
+  p.n = 1 << 18;
+  p.threads = 1;
+  const auto r = run_stream_xeon(snb(), p);
+  EXPECT_TRUE(r.verified);
+  EXPECT_GT(r.mb_per_sec, 1000.0);
+  EXPECT_LT(r.mb_per_sec, 12000.0);
+}
+
+TEST(GupsXeon, ComputesCorrectTable) {
+  GupsParams p;
+  p.table_words = 1 << 12;
+  p.updates = 1 << 12;
+  p.threads = 8;
+  const auto r = run_gups_xeon(snb(), p);
+  EXPECT_TRUE(r.verified);
+}
+
+TEST(GupsXeon, DramResidentTableIsSlowerThanCached) {
+  GupsParams p;
+  p.updates = 1 << 13;
+  p.threads = 8;
+  p.table_words = 1 << 12;  // 32 KiB: cache resident
+  const auto cached = run_gups_xeon(snb(), p);
+  p.table_words = 1 << 22;  // 32 MiB: DRAM resident
+  const auto dram = run_gups_xeon(snb(), p);
+  EXPECT_GT(cached.giga_updates_per_sec, 1.5 * dram.giga_updates_per_sec);
+}
+
+}  // namespace
+}  // namespace emusim::kernels

@@ -1,0 +1,105 @@
+// Op<T> awaitable coroutines: value propagation, sequential chaining,
+// nesting depth, interaction with engine time, and frame cleanup.
+#include "sim/op.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/engine.hpp"
+#include "sim/task.hpp"
+
+namespace emusim::sim {
+namespace {
+
+Op<int> value_op(int v) { co_return v; }
+
+Op<int> add_ops(int a, int b) {
+  const int x = co_await value_op(a);
+  const int y = co_await value_op(b);
+  co_return x + y;
+}
+
+Op<> timed_op(Engine& eng, Time d) { co_await eng.sleep(d); }
+
+Op<int> deep(int depth) {
+  if (depth == 0) co_return 0;
+  const int below = co_await deep(depth - 1);
+  co_return below + 1;
+}
+
+Task driver(Engine& eng, int* out) {
+  *out = co_await add_ops(2, 3);
+  co_await timed_op(eng, ns(100));
+  *out += co_await deep(200);
+}
+
+TEST(Op, ValuesChainAndNest) {
+  Engine eng;
+  int out = 0;
+  auto t = driver(eng, &out);
+  t.start();
+  eng.run();
+  EXPECT_EQ(out, 205);
+  EXPECT_EQ(eng.now(), ns(100));
+}
+
+Op<std::unique_ptr<int>> moveonly_op() {
+  co_return std::make_unique<int>(42);
+}
+
+Task moveonly_driver(int* out) {
+  auto p = co_await moveonly_op();
+  *out = *p;
+}
+
+TEST(Op, MoveOnlyResults) {
+  Engine eng;
+  int out = 0;
+  auto t = moveonly_driver(&out);
+  t.start();
+  eng.run();
+  EXPECT_EQ(out, 42);
+}
+
+Op<int> sleepy_value(Engine& eng, Time d, int v) {
+  co_await eng.sleep(d);
+  co_return v;
+}
+
+Task serial_timing(Engine& eng, std::vector<Time>* marks) {
+  co_await sleepy_value(eng, ns(10), 1);
+  marks->push_back(eng.now());
+  co_await sleepy_value(eng, ns(20), 2);
+  marks->push_back(eng.now());
+}
+
+TEST(Op, SequentialAwaitsAccumulateTime) {
+  Engine eng;
+  std::vector<Time> marks;
+  auto t = serial_timing(eng, &marks);
+  t.start();
+  eng.run();
+  EXPECT_EQ(marks, (std::vector<Time>{ns(10), ns(30)}));
+}
+
+TEST(Op, ManyConcurrentTasksWithOps) {
+  Engine eng;
+  int done = 0;
+  std::vector<Task> ts;
+  for (int i = 0; i < 64; ++i) {
+    struct Run {
+      static Task go(Engine& eng, int i, int* done) {
+        co_await sleepy_value(eng, ns(i), i);
+        co_await sleepy_value(eng, ns(64 - i), i);
+        ++*done;
+      }
+    };
+    ts.push_back(Run::go(eng, i, &done));
+  }
+  for (auto& t : ts) t.start();
+  eng.run();
+  EXPECT_EQ(done, 64);
+  EXPECT_EQ(eng.now(), ns(64));  // every pair sums to 64 ns
+}
+
+}  // namespace
+}  // namespace emusim::sim

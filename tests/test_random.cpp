@@ -1,0 +1,99 @@
+// Deterministic RNG: reproducibility, bounds, permutation validity, and
+// crude uniformity — parameterized across seeds.
+#include "sim/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+namespace emusim::sim {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, SplitmixIsStable) {
+  // Pin the first splitmix64 output for seed 0 (cross-platform stability of
+  // all workload layouts depends on this).
+  std::uint64_t s = 0;
+  EXPECT_EQ(splitmix64(s), 0xE220A8397B1DCDAFULL);
+}
+
+class RngSeeded : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngSeeded, BelowStaysInBounds) {
+  Rng rng(GetParam());
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST_P(RngSeeded, UniformInUnitInterval) {
+  Rng rng(GetParam());
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST_P(RngSeeded, PermutationIsValid) {
+  Rng rng(GetParam());
+  for (std::size_t n : {1u, 2u, 17u, 256u, 1000u}) {
+    auto p = rng.permutation(n);
+    ASSERT_EQ(p.size(), n);
+    auto sorted = p;
+    std::sort(sorted.begin(), sorted.end());
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(sorted[i], static_cast<std::uint32_t>(i));
+    }
+  }
+}
+
+TEST_P(RngSeeded, ShufflePreservesMultiset) {
+  Rng rng(GetParam());
+  std::vector<int> v(500);
+  std::iota(v.begin(), v.end(), 0);
+  auto orig = v;
+  rng.shuffle(v);
+  auto sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, orig);
+  // 500 elements: identity after shuffle is effectively impossible.
+  EXPECT_NE(v, orig);
+}
+
+TEST_P(RngSeeded, BelowIsRoughlyUniform) {
+  Rng rng(GetParam());
+  constexpr std::uint64_t kBuckets = 8;
+  std::array<int, kBuckets> counts{};
+  constexpr int kDraws = 16000;
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[static_cast<std::size_t>(rng.below(kBuckets))];
+  }
+  for (auto c : counts) {
+    EXPECT_NEAR(c, kDraws / static_cast<int>(kBuckets), kDraws / 40);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeeded,
+                         ::testing::Values(0ULL, 1ULL, 42ULL, 0xDEADBEEFULL,
+                                           ~0ULL));
+
+}  // namespace
+}  // namespace emusim::sim

@@ -1,0 +1,155 @@
+// CSR utilities: Laplacian structure, the serial reference, nnz-balanced
+// partitioning, and grain task splitting — parameterized over grid sizes.
+#include <gtest/gtest.h>
+
+#include "kernels/spmv_common.hpp"
+
+namespace emusim::kernels {
+namespace {
+
+class LaplacianProps : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LaplacianProps, StructureIsAFivePointStencil) {
+  const std::size_t n = GetParam();
+  const Csr a = make_laplacian_2d(n);
+  EXPECT_EQ(a.rows, n * n);
+  EXPECT_EQ(a.cols, n * n);
+  ASSERT_EQ(a.row_ptr.size(), a.rows + 1);
+  EXPECT_EQ(a.row_ptr.front(), 0);
+  EXPECT_EQ(static_cast<std::size_t>(a.row_ptr.back()), a.nnz());
+  // nnz = 5 per row minus boundary corrections: 5n^2 - 4n.
+  EXPECT_EQ(a.nnz(), 5 * n * n - 4 * n);
+
+  for (std::size_t r = 0; r < a.rows; ++r) {
+    const auto k0 = static_cast<std::size_t>(a.row_ptr[r]);
+    const auto k1 = static_cast<std::size_t>(a.row_ptr[r + 1]);
+    ASSERT_GE(k1, k0);
+    const std::size_t row_nnz = k1 - k0;
+    EXPECT_GE(row_nnz, n >= 2 ? 3u : 1u);  // corner rows (1x1 grid: diag only)
+    EXPECT_LE(row_nnz, 5u);                // interior rows
+    double diag = 0, offsum = 0;
+    for (std::size_t k = k0; k < k1; ++k) {
+      ASSERT_LT(static_cast<std::size_t>(a.col_idx[k]), a.cols);
+      if (k > k0) {
+        EXPECT_LT(a.col_idx[k - 1], a.col_idx[k]) << "columns must be sorted";
+      }
+      if (static_cast<std::size_t>(a.col_idx[k]) == r) {
+        diag = a.vals[k];
+      } else {
+        offsum += a.vals[k];
+      }
+    }
+    EXPECT_EQ(diag, 4.0);
+    EXPECT_LE(offsum, 0.0);
+  }
+}
+
+TEST_P(LaplacianProps, SymmetricPattern) {
+  const std::size_t n = GetParam();
+  const Csr a = make_laplacian_2d(n);
+  // A(i,j) nonzero implies A(j,i) nonzero with the same value.
+  auto value_at = [&](std::size_t r, std::size_t c) -> double {
+    for (auto k = a.row_ptr[r]; k < a.row_ptr[r + 1]; ++k) {
+      if (static_cast<std::size_t>(a.col_idx[static_cast<std::size_t>(k)]) ==
+          c) {
+        return a.vals[static_cast<std::size_t>(k)];
+      }
+    }
+    return 0.0;
+  };
+  for (std::size_t r = 0; r < a.rows; ++r) {
+    for (auto k = a.row_ptr[r]; k < a.row_ptr[r + 1]; ++k) {
+      const auto c =
+          static_cast<std::size_t>(a.col_idx[static_cast<std::size_t>(k)]);
+      EXPECT_EQ(value_at(c, r), a.vals[static_cast<std::size_t>(k)]);
+    }
+  }
+}
+
+TEST_P(LaplacianProps, ReferenceMatchesDenseProduct) {
+  const std::size_t n = GetParam();
+  if (n > 12) GTEST_SKIP() << "dense check only for small grids";
+  const Csr a = make_laplacian_2d(n);
+  const auto x = make_x(a.cols);
+  const auto y = spmv_reference(a, x);
+
+  // Dense recompute.
+  std::vector<std::vector<double>> dense(a.rows,
+                                         std::vector<double>(a.cols, 0.0));
+  for (std::size_t r = 0; r < a.rows; ++r) {
+    for (auto k = a.row_ptr[r]; k < a.row_ptr[r + 1]; ++k) {
+      dense[r][static_cast<std::size_t>(
+          a.col_idx[static_cast<std::size_t>(k)])] =
+          a.vals[static_cast<std::size_t>(k)];
+    }
+  }
+  for (std::size_t r = 0; r < a.rows; ++r) {
+    double acc = 0;
+    for (std::size_t c = 0; c < a.cols; ++c) acc += dense[r][c] * x[c];
+    EXPECT_NEAR(y[r], acc, 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LaplacianProps,
+                         ::testing::Values(1, 2, 3, 5, 8, 12, 25, 40));
+
+class PartitionProps : public ::testing::TestWithParam<int> {};
+
+TEST_P(PartitionProps, CoversAllRowsInOrderAndBalancesNnz) {
+  const int parts = GetParam();
+  const Csr a = make_laplacian_2d(30);
+  const auto b = partition_rows_by_nnz(a, parts);
+  ASSERT_EQ(b.size(), static_cast<std::size_t>(parts) + 1);
+  EXPECT_EQ(b.front(), 0u);
+  EXPECT_EQ(b.back(), a.rows);
+  for (std::size_t i = 0; i + 1 < b.size(); ++i) EXPECT_LE(b[i], b[i + 1]);
+
+  // Each part's nnz within 2 rows' worth of the ideal share.
+  const double ideal = static_cast<double>(a.nnz()) / parts;
+  for (std::size_t i = 0; i + 1 < b.size(); ++i) {
+    const auto nnz =
+        static_cast<double>(a.row_ptr[b[i + 1]] - a.row_ptr[b[i]]);
+    EXPECT_NEAR(nnz, ideal, 12.0) << "part " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Parts, PartitionProps,
+                         ::testing::Values(1, 2, 3, 7, 8, 16, 56));
+
+class GrainProps : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(GrainProps, TasksCoverRangeAndRespectGrain) {
+  const std::size_t grain = GetParam();
+  const Csr a = make_laplacian_2d(20);
+  const auto b = grain_tasks(a, 0, a.rows, grain);
+  EXPECT_EQ(b.front(), 0u);
+  EXPECT_EQ(b.back(), a.rows);
+  for (std::size_t i = 0; i + 1 < b.size(); ++i) {
+    ASSERT_LT(b[i], b[i + 1]);
+    const auto nnz = a.row_ptr[b[i + 1]] - a.row_ptr[b[i]];
+    // Every task except possibly the last reaches the grain.
+    if (i + 2 < b.size()) {
+      EXPECT_GE(static_cast<std::size_t>(nnz), grain);
+    }
+    // And never overshoots by more than one row's nonzeros.
+    EXPECT_LE(static_cast<std::size_t>(nnz), grain + 5);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grains, GrainProps,
+                         ::testing::Values(1, 4, 16, 64, 256, 1024, 100000));
+
+TEST(GrainTasks, SubrangeOnly) {
+  const Csr a = make_laplacian_2d(10);
+  const auto b = grain_tasks(a, 20, 60, 16);
+  EXPECT_EQ(b.front(), 20u);
+  EXPECT_EQ(b.back(), 60u);
+}
+
+TEST(SpmvBytes, SixteenPerNonzero) {
+  const Csr a = make_laplacian_2d(10);
+  EXPECT_DOUBLE_EQ(spmv_bytes(a), 16.0 * static_cast<double>(a.nnz()));
+}
+
+}  // namespace
+}  // namespace emusim::kernels

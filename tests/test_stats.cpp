@@ -1,0 +1,86 @@
+// Summary statistics and the log2 histogram.
+#include "sim/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace emusim::sim {
+namespace {
+
+TEST(Summary, EmptyIsZero) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(Summary, SingleSample) {
+  Summary s;
+  s.add(7.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 7.5);
+  EXPECT_DOUBLE_EQ(s.min(), 7.5);
+  EXPECT_DOUBLE_EQ(s.max(), 7.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(Summary, KnownMoments) {
+  Summary s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  // Sample variance of that classic set is 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(Summary, WelfordMatchesNaiveOnLargeStream) {
+  Summary s;
+  double sum = 0, sumsq = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    const double v = (i * 37 % 1001) * 0.25;
+    s.add(v);
+    sum += v;
+    sumsq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = (sumsq - n * mean * mean) / (n - 1);
+  EXPECT_NEAR(s.mean(), mean, 1e-9);
+  EXPECT_NEAR(s.variance(), var, 1e-6);
+}
+
+TEST(Log2Histogram, BucketsByPowerOfTwo) {
+  Log2Histogram h;
+  h.add(1);     // bucket 0
+  h.add(2);     // bucket 1
+  h.add(3);     // bucket 1
+  h.add(4);     // bucket 2
+  h.add(1023);  // bucket 9
+  h.add(1024);  // bucket 10
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 2u);
+  EXPECT_EQ(h.bucket(2), 1u);
+  EXPECT_EQ(h.bucket(9), 1u);
+  EXPECT_EQ(h.bucket(10), 1u);
+}
+
+TEST(Log2Histogram, QuantilesBracketTheData) {
+  Log2Histogram h;
+  for (int i = 0; i < 900; ++i) h.add(100);   // bucket 6 ([64,128))
+  for (int i = 0; i < 100; ++i) h.add(5000);  // bucket 12
+  EXPECT_LE(h.quantile(0.5), 256u);   // p50 in the low bucket
+  EXPECT_GE(h.quantile(0.99), 4096u);  // p99 in the high bucket
+}
+
+TEST(Log2Histogram, RenderShowsOccupiedRange) {
+  Log2Histogram h;
+  EXPECT_EQ(h.render(), "(empty)\n");
+  h.add(1000);
+  const auto out = h.render();
+  EXPECT_NE(out.find("[2^09, 2^10)"), std::string::npos);
+  EXPECT_NE(out.find("1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace emusim::sim

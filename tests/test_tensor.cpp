@@ -1,0 +1,75 @@
+// Tensor substrate: generator invariants and the MTTKRP reference.
+#include "tensor/coo.hpp"
+
+#include <gtest/gtest.h>
+
+namespace emusim::tensor {
+namespace {
+
+TEST(CooTensor, GeneratorSortedUniqueInRange) {
+  const auto x = make_random_tensor(20, 30, 40, 500, 5);
+  EXPECT_LE(x.nnz(), 500u);
+  EXPECT_GT(x.nnz(), 450u);  // few duplicate coordinates at this density
+  for (std::size_t e = 0; e < x.nnz(); ++e) {
+    EXPECT_LT(x.i[e], 20u);
+    EXPECT_LT(x.j[e], 30u);
+    EXPECT_LT(x.k[e], 40u);
+    if (e > 0) {
+      const auto prev = std::tuple(x.i[e - 1], x.j[e - 1], x.k[e - 1]);
+      const auto cur = std::tuple(x.i[e], x.j[e], x.k[e]);
+      EXPECT_LT(prev, cur);  // sorted by (i, j, k), unique
+    }
+  }
+}
+
+TEST(CooTensor, DeterministicInSeed) {
+  const auto a = make_random_tensor(10, 10, 10, 200, 3);
+  const auto b = make_random_tensor(10, 10, 10, 200, 3);
+  EXPECT_EQ(a.val, b.val);
+  const auto c = make_random_tensor(10, 10, 10, 200, 4);
+  EXPECT_NE(a.val, c.val);
+}
+
+TEST(Mttkrp, ReferenceMatchesHandComputation) {
+  // X with a single nonzero: M(i,:) = v * B(j,:) .* C(k,:).
+  CooTensor x;
+  x.dim0 = 2;
+  x.dim1 = 3;
+  x.dim2 = 4;
+  x.i = {1};
+  x.j = {2};
+  x.k = {3};
+  x.val = {2.0};
+  Factor b(3, 2), c(4, 2);
+  b.row(2)[0] = 5.0;
+  b.row(2)[1] = 7.0;
+  c.row(3)[0] = 11.0;
+  c.row(3)[1] = 13.0;
+  const auto m = mttkrp_reference(x, b, c);
+  EXPECT_DOUBLE_EQ(m[0], 0.0);
+  EXPECT_DOUBLE_EQ(m[1], 0.0);
+  EXPECT_DOUBLE_EQ(m[2], 2.0 * 5.0 * 11.0);
+  EXPECT_DOUBLE_EQ(m[3], 2.0 * 7.0 * 13.0);
+}
+
+TEST(Mttkrp, FlopsCount) {
+  const auto x = make_random_tensor(8, 8, 8, 100, 1);
+  EXPECT_DOUBLE_EQ(mttkrp_flops(x, 16),
+                   3.0 * static_cast<double>(x.nnz()) * 16);
+}
+
+TEST(Factor, RowAccess) {
+  Factor f = make_factor(5, 4, 9);
+  EXPECT_EQ(f.rows, 5u);
+  EXPECT_EQ(f.rank, 4);
+  EXPECT_EQ(f.data.size(), 20u);
+  f.row(3)[2] = 42.0;
+  EXPECT_EQ(f.data[3 * 4 + 2], 42.0);
+  for (double v : make_factor(10, 8, 2).data) {
+    EXPECT_GE(v, -1.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace emusim::tensor

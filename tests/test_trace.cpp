@@ -1,0 +1,151 @@
+// Event tracer: recording, capacity, aggregations, and integration with the
+// Emu machine (per-nodelet counts, migration matrices).
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "emu/counters.hpp"
+#include "emu/machine.hpp"
+#include "emu/runtime/alloc.hpp"
+
+namespace emusim {
+namespace {
+
+using sim::TraceKind;
+using sim::Tracer;
+
+TEST(Tracer, DisabledByDefaultAndFree) {
+  Tracer t;
+  EXPECT_FALSE(t.enabled());
+  t.record(0, TraceKind::mem_read, 1);
+  EXPECT_TRUE(t.records().empty());
+}
+
+TEST(Tracer, RecordsInOrder) {
+  Tracer t;
+  t.enable();
+  t.record(ns(5), TraceKind::mem_read, 2, -1, 8);
+  t.record(ns(9), TraceKind::migrate_out, 2, 3);
+  ASSERT_EQ(t.records().size(), 2u);
+  EXPECT_EQ(t.records()[0].t, ns(5));
+  EXPECT_EQ(t.records()[0].arg, 8u);
+  EXPECT_EQ(t.records()[1].b, 3);
+}
+
+TEST(Tracer, CapacityBoundsAndCountsDrops) {
+  Tracer t;
+  t.enable(/*capacity=*/10);
+  for (int i = 0; i < 25; ++i) t.record(i, TraceKind::mem_read, 0);
+  EXPECT_EQ(t.records().size(), 10u);
+  EXPECT_EQ(t.dropped(), 15u);
+}
+
+TEST(Tracer, CountFiltersByKindAndEntity) {
+  Tracer t;
+  t.enable();
+  t.record(0, TraceKind::mem_read, 1);
+  t.record(0, TraceKind::mem_read, 2);
+  t.record(0, TraceKind::mem_write, 1);
+  EXPECT_EQ(t.count(TraceKind::mem_read), 2u);
+  EXPECT_EQ(t.count(TraceKind::mem_read, 1), 1u);
+  EXPECT_EQ(t.count(TraceKind::mem_write, 2), 0u);
+}
+
+TEST(Tracer, MigrationMatrix) {
+  Tracer t;
+  t.enable();
+  t.record(0, TraceKind::migrate_out, 0, 1);
+  t.record(0, TraceKind::migrate_out, 0, 1);
+  t.record(0, TraceKind::migrate_out, 1, 0);
+  const auto m = t.migration_matrix(2);
+  EXPECT_EQ(m[0][1], 2u);
+  EXPECT_EQ(m[1][0], 1u);
+  EXPECT_EQ(m[0][0], 0u);
+}
+
+TEST(Tracer, ActivityBuckets) {
+  Tracer t;
+  t.enable();
+  t.record(ns(5), TraceKind::mem_read, 0);
+  t.record(ns(15), TraceKind::mem_read, 0);
+  t.record(ns(15), TraceKind::mem_read, 1);
+  t.record(ns(25), TraceKind::mem_read, 0);
+  const auto a = t.activity(TraceKind::mem_read, 2, ns(10), ns(30));
+  ASSERT_EQ(a[0].size(), 3u);
+  EXPECT_EQ(a[0][0], 1u);
+  EXPECT_EQ(a[0][1], 1u);
+  EXPECT_EQ(a[0][2], 1u);
+  EXPECT_EQ(a[1][1], 1u);
+}
+
+// --- machine integration ---------------------------------------------------
+
+sim::Op<> traced_workload(emu::Context& ctx,
+                          emu::Striped1D<std::int64_t>* arr) {
+  for (std::size_t i = 0; i < arr->size(); ++i) {
+    const int h = arr->home(i);
+    if (h != ctx.nodelet()) co_await ctx.migrate_to(h);
+    co_await ctx.read_local(arr->byte_addr(i), 8);
+  }
+}
+
+TEST(TracerIntegration, MachineEventsMatchStats) {
+  emu::Machine m(emu::SystemConfig::chick_hw());
+  m.trace.enable();
+  emu::Striped1D<std::int64_t> arr(m, 64);
+  m.run_root([&](emu::Context& ctx) { return traced_workload(ctx, &arr); });
+
+  EXPECT_EQ(m.trace.count(TraceKind::migrate_out), m.stats.migrations);
+  EXPECT_EQ(m.trace.count(TraceKind::migrate_in), m.stats.migrations);
+  EXPECT_EQ(m.trace.count(TraceKind::thread_spawn), m.stats.spawns);
+  std::uint64_t reads = 0;
+  for (int d = 0; d < m.num_nodelets(); ++d) {
+    reads += m.nodelet(d).stats.reads;
+    EXPECT_EQ(m.trace.count(TraceKind::mem_read, d),
+              m.nodelet(d).stats.reads);
+  }
+  EXPECT_EQ(reads, 64u);
+}
+
+TEST(TracerIntegration, RoundRobinWalkMigrationMatrixIsCyclic) {
+  emu::Machine m(emu::SystemConfig::chick_hw());
+  m.trace.enable();
+  emu::Striped1D<std::int64_t> arr(m, 64);
+  m.run_root([&](emu::Context& ctx) { return traced_workload(ctx, &arr); });
+  const auto mat = m.trace.migration_matrix(m.num_nodelets());
+  // Element-striped walk: every migration goes to the next nodelet.
+  for (int s = 0; s < 8; ++s) {
+    for (int d = 0; d < 8; ++d) {
+      if (d == (s + 1) % 8) {
+        EXPECT_GT(mat[static_cast<std::size_t>(s)][static_cast<std::size_t>(d)],
+                  0u);
+      } else {
+        EXPECT_EQ(mat[static_cast<std::size_t>(s)][static_cast<std::size_t>(d)],
+                  0u);
+      }
+    }
+  }
+}
+
+TEST(Counters, ReportContainsPerNodeletRows) {
+  emu::Machine m(emu::SystemConfig::chick_hw());
+  emu::Striped1D<std::int64_t> arr(m, 64);
+  const Time elapsed =
+      m.run_root([&](emu::Context& ctx) { return traced_workload(ctx, &arr); });
+
+  const auto counters = emu::collect_counters(m, elapsed);
+  ASSERT_EQ(counters.size(), 8u);
+  std::uint64_t reads = 0;
+  for (const auto& c : counters) {
+    reads += c.reads;
+    EXPECT_LE(c.channel_utilization, 1.0);
+  }
+  EXPECT_EQ(reads, 64u);
+
+  const auto report = emu::counters_report(m, elapsed);
+  EXPECT_NE(report.find("chick_hw"), std::string::npos);
+  EXPECT_NE(report.find("rowhit%"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace emusim

@@ -1,0 +1,51 @@
+#include "common/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace emusim {
+namespace {
+
+TEST(Units, Constants) {
+  EXPECT_EQ(kNanosecond, 1000);
+  EXPECT_EQ(kSecond, 1'000'000'000'000LL);
+  EXPECT_EQ(ns(1.5), 1500);
+  EXPECT_EQ(us(2), 2'000'000);
+}
+
+TEST(Units, PeriodFromHz) {
+  EXPECT_EQ(period_from_hz(1e9), 1000);        // 1 GHz -> 1 ns
+  EXPECT_EQ(period_from_hz(150e6), 6667);      // 150 MHz, rounded
+  EXPECT_EQ(period_from_hz(300e6), 3333);
+}
+
+TEST(Units, TransferTime) {
+  // 8 bytes at 2 GB/s -> 4 ns
+  EXPECT_EQ(transfer_time(8, 2e9), 4000);
+  // 64 bytes at 12.8 GB/s -> 5 ns
+  EXPECT_EQ(transfer_time(64, 12.8e9), 5000);
+  // Never zero, even for tiny transfers.
+  EXPECT_GE(transfer_time(1, 1e15), 1);
+}
+
+TEST(Units, Bandwidth) {
+  // 1 MB in 1 ms = 1000 MB/s
+  EXPECT_DOUBLE_EQ(mb_per_sec(1e6, kMillisecond), 1000.0);
+  EXPECT_DOUBLE_EQ(mb_per_sec(100, 0), 0.0);
+}
+
+TEST(Units, FormatTime) {
+  EXPECT_EQ(format_time(500), "500 ps");
+  EXPECT_EQ(format_time(ns(2.5)), "2.50 ns");
+  EXPECT_EQ(format_time(us(3)), "3.00 us");
+  EXPECT_EQ(format_time(ms(7)), "7.00 ms");
+  EXPECT_EQ(format_time(sec(1.5)), "1.500 s");
+}
+
+TEST(Units, FormatBytes) {
+  EXPECT_EQ(format_bytes(512), "512.00 B");
+  EXPECT_EQ(format_bytes(2048), "2.00 KiB");
+  EXPECT_EQ(format_bytes(3.5 * 1024 * 1024), "3.50 MiB");
+}
+
+}  // namespace
+}  // namespace emusim

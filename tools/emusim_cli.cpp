@@ -1,0 +1,318 @@
+// emusim command-line driver: run any benchmark kernel on any machine
+// configuration without writing code, with optional config overrides and
+// the per-nodelet counter report.
+//
+//   emusim_cli stream   --config chick_hw --threads 512 --n 20
+//   emusim_cli chase    --config chick_fullspeed8 --block 4 --threads 1024
+//   emusim_cli chase    --platform xeon --block 256 --threads 32
+//   emusim_cli spmv     --layout 2d --lap-n 100 --grain 16 --counters
+//   emusim_cli spmv     --platform xeon --impl cilk_spawn --grain 16384
+//   emusim_cli pingpong --config chick_as_simulated --threads 64
+//   emusim_cli gups     --threads 512
+//   emusim_cli bfs      --graph rmat --scale 12
+//   emusim_cli mttkrp   --layout 1d --rank 8
+//
+// Overrides (Emu configs): --gc-mhz, --mig-per-sec, --mig-latency-us.
+// `--n` is log2 of the element count for stream/chase/gups.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "emu/counters.hpp"
+#include "kernels/bfs_emu.hpp"
+#include "kernels/chase_emu.hpp"
+#include "kernels/chase_xeon.hpp"
+#include "kernels/gups.hpp"
+#include "kernels/mttkrp.hpp"
+#include "kernels/pingpong.hpp"
+#include "kernels/spmv_emu.hpp"
+#include "kernels/spmv_xeon.hpp"
+#include "kernels/stream_emu.hpp"
+#include "kernels/stream_xeon.hpp"
+
+using namespace emusim;
+
+namespace {
+
+struct Args {
+  std::string benchmark;
+  std::map<std::string, std::string> opts;
+
+  bool has(const std::string& k) const { return opts.count(k) > 0; }
+  std::string str(const std::string& k, const std::string& dflt) const {
+    auto it = opts.find(k);
+    return it == opts.end() ? dflt : it->second;
+  }
+  long long num(const std::string& k, long long dflt) const {
+    auto it = opts.find(k);
+    return it == opts.end() ? dflt : std::atoll(it->second.c_str());
+  }
+  double real(const std::string& k, double dflt) const {
+    auto it = opts.find(k);
+    return it == opts.end() ? dflt : std::atof(it->second.c_str());
+  }
+};
+
+[[noreturn]] void usage(const char* msg = nullptr) {
+  if (msg) std::fprintf(stderr, "error: %s\n", msg);
+  std::fprintf(stderr,
+               "usage: emusim_cli <stream|chase|spmv|pingpong|gups|bfs|"
+               "mttkrp> [--key value ...]\n"
+               "  common: --platform emu|xeon  --config <name>  --threads N\n"
+               "          --counters (print the per-nodelet report, emu)\n"
+               "  sizes:  --n LOG2  --block B  --lap-n N  --grain G "
+               "--rank R\n"
+               "  emu configs: chick_hw chick_as_simulated chick_fullspeed "
+               "chick_fullspeed8\n"
+               "  xeon configs: sandy_bridge haswell\n"
+               "  emu overrides: --gc-mhz F  --mig-per-sec F  "
+               "--mig-latency-us F\n");
+  std::exit(2);
+}
+
+Args parse(int argc, char** argv) {
+  if (argc < 2) usage();
+  Args a;
+  a.benchmark = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--", 2) != 0) usage("expected --key");
+    if (std::strcmp(arg, "--counters") == 0) {
+      a.opts["counters"] = "1";
+      continue;
+    }
+    if (i + 1 >= argc) usage("missing value");
+    a.opts[arg + 2] = argv[++i];
+  }
+  return a;
+}
+
+emu::SystemConfig emu_config(const Args& a) {
+  const std::string name = a.str("config", "chick_hw");
+  emu::SystemConfig cfg;
+  if (name == "chick_hw") {
+    cfg = emu::SystemConfig::chick_hw();
+  } else if (name == "chick_as_simulated") {
+    cfg = emu::SystemConfig::chick_as_simulated();
+  } else if (name == "chick_fullspeed") {
+    cfg = emu::SystemConfig::chick_fullspeed();
+  } else if (name == "chick_fullspeed8") {
+    cfg = emu::SystemConfig::fullspeed_multinode(8);
+  } else {
+    usage("unknown emu config");
+  }
+  if (a.has("gc-mhz")) cfg.gc_clock_hz = a.real("gc-mhz", 150) * 1e6;
+  if (a.has("mig-per-sec")) {
+    cfg.migrations_per_sec = a.real("mig-per-sec", 9e6);
+  }
+  if (a.has("mig-latency-us")) {
+    cfg.migration_latency = us(a.real("mig-latency-us", 1.4));
+  }
+  return cfg;
+}
+
+xeon::SystemConfig xeon_config(const Args& a) {
+  const std::string name = a.str("config", "sandy_bridge");
+  if (name == "sandy_bridge") return xeon::SystemConfig::sandy_bridge();
+  if (name == "haswell") return xeon::SystemConfig::haswell();
+  usage("unknown xeon config");
+}
+
+void print_summary(const char* what, double value, const char* unit,
+                   Time elapsed) {
+  std::printf("%-10s %12.2f %-8s (simulated %s)\n", what, value, unit,
+              format_time(elapsed).c_str());
+}
+
+int run_stream(const Args& a) {
+  const auto n = std::size_t{1} << a.num("n", 19);
+  if (a.str("platform", "emu") == "xeon") {
+    kernels::StreamXeonParams p;
+    p.n = n;
+    p.threads = static_cast<int>(a.num("threads", 16));
+    const auto r = kernels::run_stream_xeon(xeon_config(a), p);
+    print_summary("STREAM", r.mb_per_sec, "MB/s", r.elapsed);
+    return r.verified ? 0 : 1;
+  }
+  kernels::StreamParams p;
+  p.n = n;
+  p.threads = static_cast<int>(a.num("threads", 512));
+  const std::string strat = a.str("strategy", "recursive_remote_spawn");
+  if (strat == "serial_spawn") {
+    p.strategy = kernels::SpawnStrategy::serial_spawn;
+  } else if (strat == "recursive_spawn") {
+    p.strategy = kernels::SpawnStrategy::recursive_spawn;
+  } else if (strat == "serial_remote_spawn") {
+    p.strategy = kernels::SpawnStrategy::serial_remote_spawn;
+  } else {
+    p.strategy = kernels::SpawnStrategy::recursive_remote_spawn;
+  }
+  p.across = static_cast<int>(a.num("across", 0));
+  const auto r = kernels::run_stream_add(emu_config(a), p);
+  print_summary("STREAM", r.mb_per_sec, "MB/s", r.elapsed);
+  std::printf("migrations: %llu, spawns: %llu\n",
+              static_cast<unsigned long long>(r.migrations),
+              static_cast<unsigned long long>(r.spawns));
+  return r.verified ? 0 : 1;
+}
+
+kernels::ShuffleMode parse_mode(const Args& a) {
+  const std::string m = a.str("mode", "full_block_shuffle");
+  if (m == "none") return kernels::ShuffleMode::none;
+  if (m == "intra_block_shuffle") {
+    return kernels::ShuffleMode::intra_block_shuffle;
+  }
+  if (m == "block_shuffle") return kernels::ShuffleMode::block_shuffle;
+  return kernels::ShuffleMode::full_block_shuffle;
+}
+
+int run_chase(const Args& a) {
+  const auto n = std::size_t{1} << a.num("n", 17);
+  if (a.str("platform", "emu") == "xeon") {
+    kernels::ChaseXeonParams p;
+    p.n = std::size_t{1} << a.num("n", 21);
+    p.block = static_cast<std::size_t>(a.num("block", 64));
+    p.threads = static_cast<int>(a.num("threads", 32));
+    p.mode = parse_mode(a);
+    const auto r = kernels::run_chase_xeon(xeon_config(a), p);
+    print_summary("chase", r.mb_per_sec, "MB/s", r.elapsed);
+    std::printf("llc hit rate: %.3f\n", r.llc_hit_rate);
+    return r.verified ? 0 : 1;
+  }
+  kernels::ChaseEmuParams p;
+  p.n = n;
+  p.block = static_cast<std::size_t>(a.num("block", 64));
+  p.threads = static_cast<int>(a.num("threads", 512));
+  p.mode = parse_mode(a);
+  const auto r = kernels::run_chase_emu(emu_config(a), p);
+  print_summary("chase", r.mb_per_sec, "MB/s", r.elapsed);
+  std::printf("migrations/element: %.4f\n", r.migrations_per_element);
+  return r.verified ? 0 : 1;
+}
+
+int run_spmv(const Args& a) {
+  const auto n = static_cast<std::size_t>(a.num("lap-n", 100));
+  if (a.str("platform", "emu") == "xeon") {
+    kernels::SpmvXeonParams p;
+    p.laplacian_n = n;
+    p.threads = static_cast<int>(a.num("threads", 56));
+    p.grain = static_cast<std::size_t>(a.num("grain", 16384));
+    const std::string impl = a.str("impl", "mkl");
+    p.impl = impl == "cilk_for"
+                 ? kernels::SpmvXeonImpl::cilk_for
+                 : impl == "cilk_spawn" ? kernels::SpmvXeonImpl::cilk_spawn
+                                        : kernels::SpmvXeonImpl::mkl;
+    const auto r = kernels::run_spmv_xeon(xeon_config(a), p);
+    print_summary("SpMV", r.mb_per_sec, "MB/s", r.elapsed);
+    return r.verified ? 0 : 1;
+  }
+  kernels::SpmvEmuParams p;
+  p.laplacian_n = n;
+  p.grain = static_cast<std::size_t>(a.num("grain", 16));
+  const std::string layout = a.str("layout", "2d");
+  p.layout = layout == "local"
+                 ? kernels::SpmvLayout::local
+                 : layout == "1d" ? kernels::SpmvLayout::one_d
+                                  : kernels::SpmvLayout::two_d;
+  const auto r = kernels::run_spmv_emu(emu_config(a), p);
+  print_summary("SpMV", r.mb_per_sec, "MB/s", r.elapsed);
+  std::printf("migrations: %llu\n",
+              static_cast<unsigned long long>(r.migrations));
+  return r.verified ? 0 : 1;
+}
+
+int run_pingpong(const Args& a) {
+  kernels::PingPongParams p;
+  p.threads = static_cast<int>(a.num("threads", 64));
+  p.round_trips = static_cast<int>(a.num("round-trips", 1000));
+  const auto r = kernels::run_pingpong(emu_config(a), p);
+  print_summary("pingpong", r.migrations_per_sec / 1e6, "M mig/s", r.elapsed);
+  std::printf("mean migration latency: %.2f us\n", r.mean_latency_us);
+  return 0;
+}
+
+int run_gups(const Args& a) {
+  kernels::GupsParams p;
+  p.table_words = std::size_t{1} << a.num("n", 20);
+  p.updates = std::size_t{1} << a.num("updates", 17);
+  p.threads = static_cast<int>(a.num("threads", 512));
+  if (a.str("platform", "emu") == "xeon") {
+    p.threads = static_cast<int>(a.num("threads", 32));
+    const auto r = kernels::run_gups_xeon(xeon_config(a), p);
+    print_summary("GUPS", r.giga_updates_per_sec, "GUPS", r.elapsed);
+    return r.verified ? 0 : 1;
+  }
+  const auto r = kernels::run_gups_emu(emu_config(a), p);
+  print_summary("GUPS", r.giga_updates_per_sec, "GUPS", r.elapsed);
+  return r.verified ? 0 : 1;
+}
+
+int run_bfs(const Args& a) {
+  const std::string kind = a.str("graph", "rmat");
+  graph::Graph g;
+  if (kind == "grid") {
+    g = graph::make_grid_2d(static_cast<std::size_t>(a.num("side", 64)));
+  } else if (kind == "uniform") {
+    g = graph::make_uniform_random(
+        static_cast<std::size_t>(a.num("vertices", 16384)),
+        a.real("degree", 16.0), 5);
+  } else {
+    g = graph::make_rmat(static_cast<int>(a.num("scale", 12)),
+                         static_cast<int>(a.num("edge-factor", 16)), 5);
+  }
+  std::size_t source = static_cast<std::size_t>(a.num("source", 0));
+  if (kind == "rmat" && !a.has("source")) {
+    for (std::size_t v = 0; v < g.num_vertices; ++v) {
+      if (g.degree(v) > g.degree(source)) source = v;
+    }
+  }
+  kernels::BfsEmuParams p;
+  p.g = &g;
+  p.source = source;
+  const auto r = kernels::run_bfs_emu(emu_config(a), p);
+  print_summary("BFS", r.mteps, "MTEPS", r.elapsed);
+  std::printf("levels: %d, migrations: %llu\n", r.levels,
+              static_cast<unsigned long long>(r.migrations));
+  return r.verified ? 0 : 1;
+}
+
+int run_mttkrp(const Args& a) {
+  const auto dim = static_cast<std::size_t>(a.num("dim", 256));
+  const auto x = tensor::make_random_tensor(
+      dim, dim, dim, static_cast<std::size_t>(a.num("nnz", 100000)), 31);
+  if (a.str("platform", "emu") == "xeon") {
+    kernels::MttkrpXeonParams p;
+    p.x = &x;
+    p.rank = static_cast<int>(a.num("rank", 8));
+    p.threads = static_cast<int>(a.num("threads", 56));
+    const auto r = kernels::run_mttkrp_xeon(xeon_config(a), p);
+    print_summary("MTTKRP", r.mflops, "Mflop/s", r.elapsed);
+    return r.verified ? 0 : 1;
+  }
+  kernels::MttkrpEmuParams p;
+  p.x = &x;
+  p.rank = static_cast<int>(a.num("rank", 8));
+  p.layout = a.str("layout", "2d") == "1d" ? kernels::MttkrpLayout::one_d
+                                           : kernels::MttkrpLayout::two_d;
+  const auto r = kernels::run_mttkrp_emu(emu_config(a), p);
+  print_summary("MTTKRP", r.mflops, "Mflop/s", r.elapsed);
+  std::printf("migrations: %llu\n",
+              static_cast<unsigned long long>(r.migrations));
+  return r.verified ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args a = parse(argc, argv);
+  if (a.benchmark == "stream") return run_stream(a);
+  if (a.benchmark == "chase") return run_chase(a);
+  if (a.benchmark == "spmv") return run_spmv(a);
+  if (a.benchmark == "pingpong") return run_pingpong(a);
+  if (a.benchmark == "gups") return run_gups(a);
+  if (a.benchmark == "bfs") return run_bfs(a);
+  if (a.benchmark == "mttkrp") return run_mttkrp(a);
+  usage("unknown benchmark");
+}
