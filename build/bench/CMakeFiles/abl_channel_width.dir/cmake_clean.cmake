@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_channel_width.dir/abl_channel_width.cpp.o"
+  "CMakeFiles/abl_channel_width.dir/abl_channel_width.cpp.o.d"
+  "abl_channel_width"
+  "abl_channel_width.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_channel_width.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

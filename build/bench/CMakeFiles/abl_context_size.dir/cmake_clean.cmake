@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_context_size.dir/abl_context_size.cpp.o"
+  "CMakeFiles/abl_context_size.dir/abl_context_size.cpp.o.d"
+  "abl_context_size"
+  "abl_context_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_context_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_grain.dir/abl_grain.cpp.o"
+  "CMakeFiles/abl_grain.dir/abl_grain.cpp.o.d"
+  "abl_grain"
+  "abl_grain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_grain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_migration_cost.dir/abl_migration_cost.cpp.o"
+  "CMakeFiles/abl_migration_cost.dir/abl_migration_cost.cpp.o.d"
+  "abl_migration_cost"
+  "abl_migration_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_migration_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_numa.dir/abl_numa.cpp.o"
+  "CMakeFiles/abl_numa.dir/abl_numa.cpp.o.d"
+  "abl_numa"
+  "abl_numa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_numa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_bfs.dir/ext_bfs.cpp.o"
+  "CMakeFiles/ext_bfs.dir/ext_bfs.cpp.o.d"
+  "ext_bfs"
+  "ext_bfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_bfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_gups.dir/ext_gups.cpp.o"
+  "CMakeFiles/ext_gups.dir/ext_gups.cpp.o.d"
+  "ext_gups"
+  "ext_gups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_gups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_mttkrp.dir/ext_mttkrp.cpp.o"
+  "CMakeFiles/ext_mttkrp.dir/ext_mttkrp.cpp.o.d"
+  "ext_mttkrp"
+  "ext_mttkrp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_mttkrp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

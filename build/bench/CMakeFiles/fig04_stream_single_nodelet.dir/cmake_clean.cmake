@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_stream_single_nodelet.dir/fig04_stream_single_nodelet.cpp.o"
+  "CMakeFiles/fig04_stream_single_nodelet.dir/fig04_stream_single_nodelet.cpp.o.d"
+  "fig04_stream_single_nodelet"
+  "fig04_stream_single_nodelet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_stream_single_nodelet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig04_stream_single_nodelet.
+# This may be replaced when dependencies are built.

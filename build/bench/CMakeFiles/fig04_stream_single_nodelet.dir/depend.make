@@ -1,0 +1,2 @@
+# Empty dependencies file for fig04_stream_single_nodelet.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_stream_multi_nodelet.dir/fig05_stream_multi_nodelet.cpp.o"
+  "CMakeFiles/fig05_stream_multi_nodelet.dir/fig05_stream_multi_nodelet.cpp.o.d"
+  "fig05_stream_multi_nodelet"
+  "fig05_stream_multi_nodelet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_stream_multi_nodelet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

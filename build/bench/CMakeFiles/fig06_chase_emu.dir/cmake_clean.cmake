@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_chase_emu.dir/fig06_chase_emu.cpp.o"
+  "CMakeFiles/fig06_chase_emu.dir/fig06_chase_emu.cpp.o.d"
+  "fig06_chase_emu"
+  "fig06_chase_emu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_chase_emu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

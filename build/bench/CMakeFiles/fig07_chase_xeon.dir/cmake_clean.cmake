@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_chase_xeon.dir/fig07_chase_xeon.cpp.o"
+  "CMakeFiles/fig07_chase_xeon.dir/fig07_chase_xeon.cpp.o.d"
+  "fig07_chase_xeon"
+  "fig07_chase_xeon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_chase_xeon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

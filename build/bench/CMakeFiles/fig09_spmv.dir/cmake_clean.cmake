@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_spmv.dir/fig09_spmv.cpp.o"
+  "CMakeFiles/fig09_spmv.dir/fig09_spmv.cpp.o.d"
+  "fig09_spmv"
+  "fig09_spmv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_spmv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_validation.dir/fig10_validation.cpp.o"
+  "CMakeFiles/fig10_validation.dir/fig10_validation.cpp.o.d"
+  "fig10_validation"
+  "fig10_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

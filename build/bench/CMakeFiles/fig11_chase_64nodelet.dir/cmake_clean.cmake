@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_chase_64nodelet.dir/fig11_chase_64nodelet.cpp.o"
+  "CMakeFiles/fig11_chase_64nodelet.dir/fig11_chase_64nodelet.cpp.o.d"
+  "fig11_chase_64nodelet"
+  "fig11_chase_64nodelet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_chase_64nodelet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

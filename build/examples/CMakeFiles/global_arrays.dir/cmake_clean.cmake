@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/global_arrays.dir/global_arrays.cpp.o"
+  "CMakeFiles/global_arrays.dir/global_arrays.cpp.o.d"
+  "global_arrays"
+  "global_arrays.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/global_arrays.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pingpong_probe.dir/pingpong_probe.cpp.o"
+  "CMakeFiles/pingpong_probe.dir/pingpong_probe.cpp.o.d"
+  "pingpong_probe"
+  "pingpong_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pingpong_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spmv_layouts.dir/spmv_layouts.cpp.o"
+  "CMakeFiles/spmv_layouts.dir/spmv_layouts.cpp.o.d"
+  "spmv_layouts"
+  "spmv_layouts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spmv_layouts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_graph_degree.dir/streaming_graph_degree.cpp.o"
+  "CMakeFiles/streaming_graph_degree.dir/streaming_graph_degree.cpp.o.d"
+  "streaming_graph_degree"
+  "streaming_graph_degree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_graph_degree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/units.cpp" "src/CMakeFiles/emusim.dir/common/units.cpp.o" "gcc" "src/CMakeFiles/emusim.dir/common/units.cpp.o.d"
+  "/root/repo/src/emu/config.cpp" "src/CMakeFiles/emusim.dir/emu/config.cpp.o" "gcc" "src/CMakeFiles/emusim.dir/emu/config.cpp.o.d"
+  "/root/repo/src/emu/counters.cpp" "src/CMakeFiles/emusim.dir/emu/counters.cpp.o" "gcc" "src/CMakeFiles/emusim.dir/emu/counters.cpp.o.d"
+  "/root/repo/src/emu/machine.cpp" "src/CMakeFiles/emusim.dir/emu/machine.cpp.o" "gcc" "src/CMakeFiles/emusim.dir/emu/machine.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/CMakeFiles/emusim.dir/graph/graph.cpp.o" "gcc" "src/CMakeFiles/emusim.dir/graph/graph.cpp.o.d"
+  "/root/repo/src/kernels/bfs_emu.cpp" "src/CMakeFiles/emusim.dir/kernels/bfs_emu.cpp.o" "gcc" "src/CMakeFiles/emusim.dir/kernels/bfs_emu.cpp.o.d"
+  "/root/repo/src/kernels/bfs_xeon.cpp" "src/CMakeFiles/emusim.dir/kernels/bfs_xeon.cpp.o" "gcc" "src/CMakeFiles/emusim.dir/kernels/bfs_xeon.cpp.o.d"
+  "/root/repo/src/kernels/chase_common.cpp" "src/CMakeFiles/emusim.dir/kernels/chase_common.cpp.o" "gcc" "src/CMakeFiles/emusim.dir/kernels/chase_common.cpp.o.d"
+  "/root/repo/src/kernels/chase_emu.cpp" "src/CMakeFiles/emusim.dir/kernels/chase_emu.cpp.o" "gcc" "src/CMakeFiles/emusim.dir/kernels/chase_emu.cpp.o.d"
+  "/root/repo/src/kernels/chase_xeon.cpp" "src/CMakeFiles/emusim.dir/kernels/chase_xeon.cpp.o" "gcc" "src/CMakeFiles/emusim.dir/kernels/chase_xeon.cpp.o.d"
+  "/root/repo/src/kernels/gups.cpp" "src/CMakeFiles/emusim.dir/kernels/gups.cpp.o" "gcc" "src/CMakeFiles/emusim.dir/kernels/gups.cpp.o.d"
+  "/root/repo/src/kernels/mttkrp_emu.cpp" "src/CMakeFiles/emusim.dir/kernels/mttkrp_emu.cpp.o" "gcc" "src/CMakeFiles/emusim.dir/kernels/mttkrp_emu.cpp.o.d"
+  "/root/repo/src/kernels/mttkrp_xeon.cpp" "src/CMakeFiles/emusim.dir/kernels/mttkrp_xeon.cpp.o" "gcc" "src/CMakeFiles/emusim.dir/kernels/mttkrp_xeon.cpp.o.d"
+  "/root/repo/src/kernels/pingpong.cpp" "src/CMakeFiles/emusim.dir/kernels/pingpong.cpp.o" "gcc" "src/CMakeFiles/emusim.dir/kernels/pingpong.cpp.o.d"
+  "/root/repo/src/kernels/spmv_common.cpp" "src/CMakeFiles/emusim.dir/kernels/spmv_common.cpp.o" "gcc" "src/CMakeFiles/emusim.dir/kernels/spmv_common.cpp.o.d"
+  "/root/repo/src/kernels/spmv_emu.cpp" "src/CMakeFiles/emusim.dir/kernels/spmv_emu.cpp.o" "gcc" "src/CMakeFiles/emusim.dir/kernels/spmv_emu.cpp.o.d"
+  "/root/repo/src/kernels/spmv_xeon.cpp" "src/CMakeFiles/emusim.dir/kernels/spmv_xeon.cpp.o" "gcc" "src/CMakeFiles/emusim.dir/kernels/spmv_xeon.cpp.o.d"
+  "/root/repo/src/kernels/stream_emu.cpp" "src/CMakeFiles/emusim.dir/kernels/stream_emu.cpp.o" "gcc" "src/CMakeFiles/emusim.dir/kernels/stream_emu.cpp.o.d"
+  "/root/repo/src/kernels/stream_xeon.cpp" "src/CMakeFiles/emusim.dir/kernels/stream_xeon.cpp.o" "gcc" "src/CMakeFiles/emusim.dir/kernels/stream_xeon.cpp.o.d"
+  "/root/repo/src/mem/dram.cpp" "src/CMakeFiles/emusim.dir/mem/dram.cpp.o" "gcc" "src/CMakeFiles/emusim.dir/mem/dram.cpp.o.d"
+  "/root/repo/src/report/csv.cpp" "src/CMakeFiles/emusim.dir/report/csv.cpp.o" "gcc" "src/CMakeFiles/emusim.dir/report/csv.cpp.o.d"
+  "/root/repo/src/report/table.cpp" "src/CMakeFiles/emusim.dir/report/table.cpp.o" "gcc" "src/CMakeFiles/emusim.dir/report/table.cpp.o.d"
+  "/root/repo/src/sim/stats.cpp" "src/CMakeFiles/emusim.dir/sim/stats.cpp.o" "gcc" "src/CMakeFiles/emusim.dir/sim/stats.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/CMakeFiles/emusim.dir/sim/trace.cpp.o" "gcc" "src/CMakeFiles/emusim.dir/sim/trace.cpp.o.d"
+  "/root/repo/src/tensor/coo.cpp" "src/CMakeFiles/emusim.dir/tensor/coo.cpp.o" "gcc" "src/CMakeFiles/emusim.dir/tensor/coo.cpp.o.d"
+  "/root/repo/src/xeon/cache.cpp" "src/CMakeFiles/emusim.dir/xeon/cache.cpp.o" "gcc" "src/CMakeFiles/emusim.dir/xeon/cache.cpp.o.d"
+  "/root/repo/src/xeon/config.cpp" "src/CMakeFiles/emusim.dir/xeon/config.cpp.o" "gcc" "src/CMakeFiles/emusim.dir/xeon/config.cpp.o.d"
+  "/root/repo/src/xeon/machine.cpp" "src/CMakeFiles/emusim.dir/xeon/machine.cpp.o" "gcc" "src/CMakeFiles/emusim.dir/xeon/machine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

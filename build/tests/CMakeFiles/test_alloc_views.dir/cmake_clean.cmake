@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_alloc_views.dir/test_alloc_views.cpp.o"
+  "CMakeFiles/test_alloc_views.dir/test_alloc_views.cpp.o.d"
+  "test_alloc_views"
+  "test_alloc_views.pdb"
+  "test_alloc_views[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_alloc_views.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

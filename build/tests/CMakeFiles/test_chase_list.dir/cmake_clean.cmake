@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chase_list.dir/test_chase_list.cpp.o"
+  "CMakeFiles/test_chase_list.dir/test_chase_list.cpp.o.d"
+  "test_chase_list"
+  "test_chase_list.pdb"
+  "test_chase_list[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chase_list.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

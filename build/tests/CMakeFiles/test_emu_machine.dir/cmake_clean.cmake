@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_emu_machine.dir/test_emu_machine.cpp.o"
+  "CMakeFiles/test_emu_machine.dir/test_emu_machine.cpp.o.d"
+  "test_emu_machine"
+  "test_emu_machine.pdb"
+  "test_emu_machine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_emu_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernels_xeon.dir/test_kernels_xeon.cpp.o"
+  "CMakeFiles/test_kernels_xeon.dir/test_kernels_xeon.cpp.o.d"
+  "test_kernels_xeon"
+  "test_kernels_xeon.pdb"
+  "test_kernels_xeon[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernels_xeon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spmv_common.dir/test_spmv_common.cpp.o"
+  "CMakeFiles/test_spmv_common.dir/test_spmv_common.cpp.o.d"
+  "test_spmv_common"
+  "test_spmv_common.pdb"
+  "test_spmv_common[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spmv_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xeon_machine.dir/test_xeon_machine.cpp.o"
+  "CMakeFiles/test_xeon_machine.dir/test_xeon_machine.cpp.o.d"
+  "test_xeon_machine"
+  "test_xeon_machine.pdb"
+  "test_xeon_machine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xeon_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_units[1]_include.cmake")
+include("/root/repo/build/tests/test_engine[1]_include.cmake")
+include("/root/repo/build/tests/test_resource[1]_include.cmake")
+include("/root/repo/build/tests/test_dram[1]_include.cmake")
+include("/root/repo/build/tests/test_emu_machine[1]_include.cmake")
+include("/root/repo/build/tests/test_xeon_machine[1]_include.cmake")
+include("/root/repo/build/tests/test_op[1]_include.cmake")
+include("/root/repo/build/tests/test_random[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_alloc_views[1]_include.cmake")
+include("/root/repo/build/tests/test_chase_list[1]_include.cmake")
+include("/root/repo/build/tests/test_spmv_common[1]_include.cmake")
+include("/root/repo/build/tests/test_kernels_emu[1]_include.cmake")
+include("/root/repo/build/tests/test_kernels_xeon[1]_include.cmake")
+include("/root/repo/build/tests/test_validation[1]_include.cmake")
+include("/root/repo/build/tests/test_determinism[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_parallel[1]_include.cmake")
+include("/root/repo/build/tests/test_graph[1]_include.cmake")
+include("/root/repo/build/tests/test_tensor[1]_include.cmake")
+include("/root/repo/build/tests/test_apps[1]_include.cmake")
+include("/root/repo/build/tests/test_dram_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_features[1]_include.cmake")
+include("/root/repo/build/tests/test_report[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_stress[1]_include.cmake")
+include("/root/repo/build/tests/test_global_array[1]_include.cmake")
+include("/root/repo/build/tests/test_config_matrix[1]_include.cmake")
+include("/root/repo/build/tests/test_cache_properties[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emusim_cli.dir/emusim_cli.cpp.o"
+  "CMakeFiles/emusim_cli.dir/emusim_cli.cpp.o.d"
+  "emusim_cli"
+  "emusim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emusim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_stream "/root/repo/build/tools/emusim_cli" "stream" "--n" "13" "--threads" "64")
+set_tests_properties(cli_stream PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_chase_xeon "/root/repo/build/tools/emusim_cli" "chase" "--platform" "xeon" "--n" "14" "--block" "16" "--threads" "8")
+set_tests_properties(cli_chase_xeon PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_spmv "/root/repo/build/tools/emusim_cli" "spmv" "--layout" "1d" "--lap-n" "30")
+set_tests_properties(cli_spmv PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_gups "/root/repo/build/tools/emusim_cli" "gups" "--n" "14" "--updates" "12" "--threads" "64")
+set_tests_properties(cli_gups PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_bfs "/root/repo/build/tools/emusim_cli" "bfs" "--graph" "grid" "--side" "12")
+set_tests_properties(cli_bfs PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_mttkrp "/root/repo/build/tools/emusim_cli" "mttkrp" "--dim" "32" "--nnz" "2000" "--rank" "4")
+set_tests_properties(cli_mttkrp PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
