@@ -2,7 +2,21 @@
 // throughput, coroutine task churn, FIFO-server accounting, DRAM channel
 // accesses, and cache probes.  These bound the wall-clock cost of the
 // figure harnesses and catch performance regressions in the hot paths.
+//
+// The engine scenarios run twice: once against sim::Engine (the 4-ary-heap
+// + FIFO-fast-lane queue with SmallFn events) and once against a
+// LegacyEngine that reproduces the seed design — std::priority_queue over
+// events carrying a std::function, copied out of top() on every dispatch.
+// Comparing the BM_Engine* and BM_Legacy* items/sec gives the before/after
+// events-per-second figure recorded in results/micro_simcore.csv and
+// docs/MODELING.md.
 #include <benchmark/benchmark.h>
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
 
 #include "mem/dram.hpp"
 #include "sim/engine.hpp"
@@ -14,10 +28,86 @@ namespace {
 
 using namespace emusim;
 
-void BM_EngineScheduleDrain(benchmark::State& state) {
+// --- the seed event queue, kept verbatim as the comparison baseline -------
+
+class LegacyEngine {
+ public:
+  Time now() const { return now_; }
+
+  void schedule(Time when, std::coroutine_handle<> h) {
+    pq_.push(Event{when, next_seq_++, h, {}});
+  }
+  void schedule_in(Time delay, std::coroutine_handle<> h) {
+    schedule(now_ + delay, h);
+  }
+  void call_at(Time when, std::function<void()> fn) {
+    pq_.push(Event{when, next_seq_++, {}, std::move(fn)});
+  }
+  void call_in(Time delay, std::function<void()> fn) {
+    call_at(now_ + delay, std::move(fn));
+  }
+
+  bool step() {
+    if (pq_.empty()) return false;
+    Event ev = pq_.top();  // the seed's copy-before-pop, deliberately kept
+    pq_.pop();
+    now_ = ev.when;
+    ++events_processed_;
+    if (ev.coro) {
+      ev.coro.resume();
+    } else {
+      ev.fn();
+    }
+    return true;
+  }
+  Time run() {
+    while (step()) {
+    }
+    return now_;
+  }
+
+  std::uint64_t events_processed() const { return events_processed_; }
+
+  auto sleep(Time delay) {
+    struct Awaiter {
+      LegacyEngine& eng;
+      Time delay;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) const {
+        eng.schedule_in(delay, h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this, delay};
+  }
+
+ private:
+  struct Event {
+    Time when = 0;
+    std::uint64_t seq = 0;
+    std::coroutine_handle<> coro;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> pq_;
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_processed_ = 0;
+};
+
+// --- engine scenarios, templated over the queue implementation ------------
+
+template <class EngineT>
+void bm_schedule_drain(benchmark::State& state) {
   const int batch = static_cast<int>(state.range(0));
   for (auto _ : state) {
-    sim::Engine eng;
+    EngineT eng;
     for (int i = 0; i < batch; ++i) {
       eng.call_at(static_cast<Time>(i), [] {});
     }
@@ -26,24 +116,113 @@ void BM_EngineScheduleDrain(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * batch);
 }
-BENCHMARK(BM_EngineScheduleDrain)->Arg(1024)->Arg(65536);
 
-sim::Task sleeper_task(sim::Engine& eng, int hops) {
-  for (int i = 0; i < hops; ++i) co_await eng.sleep(ns(1));
+// Callback-heavy: chains of plain callbacks, each capturing 24 bytes (an
+// engine pointer plus two counters) and re-posting itself — the shape of
+// machine-component events such as prefetch completions and LFB releases.
+// 24 bytes exceeds libstdc++ std::function's inline buffer, so the legacy
+// queue allocates per event; SmallFn keeps it inline.
+template <class EngineT>
+void post_chain(EngineT& eng, std::uint64_t remaining, Time stride) {
+  eng.call_in(stride, [&eng, remaining, stride] {
+    if (remaining > 1) post_chain(eng, remaining - 1, stride);
+  });
 }
 
-void BM_CoroutineHops(benchmark::State& state) {
+template <class EngineT>
+void bm_callback_heavy(benchmark::State& state) {
+  const int chains = 256;
   const int hops = static_cast<int>(state.range(0));
   for (auto _ : state) {
-    sim::Engine eng;
-    auto t = sleeper_task(eng, hops);
+    EngineT eng;
+    for (int c = 0; c < chains; ++c) {
+      post_chain(eng, static_cast<std::uint64_t>(hops),
+                 static_cast<Time>(c % 17 + 1));
+    }
+    eng.run();
+    benchmark::DoNotOptimize(eng.events_processed());
+  }
+  state.SetItemsProcessed(state.iterations() * chains * hops);
+}
+
+template <class EngineT>
+sim::Task sleeper_task(EngineT& eng, int hops, Time delay) {
+  for (int i = 0; i < hops; ++i) co_await eng.sleep(delay);
+}
+
+template <class EngineT>
+void bm_coroutine_hops(benchmark::State& state) {
+  const int hops = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    EngineT eng;
+    auto t = sleeper_task(eng, hops, ns(1));
     t.start();
     eng.run();
     benchmark::DoNotOptimize(eng.now());
   }
   state.SetItemsProcessed(state.iterations() * hops);
 }
+
+// Zero-delay yield: many tasks repeatedly co_await sleep(0) at one
+// timestamp — the spawn-tree fairness pattern from the emu runtime
+// (parallel_apply, sync wakeups, semaphore grants).  The new engine routes
+// these through the FIFO fast lane; the legacy queue pays a heap
+// sift per yield.
+template <class EngineT>
+void bm_zero_delay_yield(benchmark::State& state) {
+  const int tasks = 64;
+  const int hops = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    EngineT eng;
+    std::vector<sim::Task> ts;
+    ts.reserve(tasks);
+    for (int i = 0; i < tasks; ++i) {
+      ts.push_back(sleeper_task(eng, hops, 0));
+    }
+    for (auto& t : ts) t.start();
+    eng.run();
+    benchmark::DoNotOptimize(eng.events_processed());
+  }
+  state.SetItemsProcessed(state.iterations() * tasks * hops);
+}
+
+void BM_EngineScheduleDrain(benchmark::State& s) {
+  bm_schedule_drain<sim::Engine>(s);
+}
+void BM_LegacyScheduleDrain(benchmark::State& s) {
+  bm_schedule_drain<LegacyEngine>(s);
+}
+BENCHMARK(BM_EngineScheduleDrain)->Arg(1024)->Arg(65536);
+BENCHMARK(BM_LegacyScheduleDrain)->Arg(1024)->Arg(65536);
+
+void BM_EngineCallbackHeavy(benchmark::State& s) {
+  bm_callback_heavy<sim::Engine>(s);
+}
+void BM_LegacyCallbackHeavy(benchmark::State& s) {
+  bm_callback_heavy<LegacyEngine>(s);
+}
+BENCHMARK(BM_EngineCallbackHeavy)->Arg(64)->Arg(1024);
+BENCHMARK(BM_LegacyCallbackHeavy)->Arg(64)->Arg(1024);
+
+void BM_CoroutineHops(benchmark::State& s) {
+  bm_coroutine_hops<sim::Engine>(s);
+}
+void BM_LegacyCoroutineHops(benchmark::State& s) {
+  bm_coroutine_hops<LegacyEngine>(s);
+}
 BENCHMARK(BM_CoroutineHops)->Arg(1024)->Arg(16384);
+BENCHMARK(BM_LegacyCoroutineHops)->Arg(1024)->Arg(16384);
+
+void BM_EngineZeroDelayYield(benchmark::State& s) {
+  bm_zero_delay_yield<sim::Engine>(s);
+}
+void BM_LegacyZeroDelayYield(benchmark::State& s) {
+  bm_zero_delay_yield<LegacyEngine>(s);
+}
+BENCHMARK(BM_EngineZeroDelayYield)->Arg(256)->Arg(4096);
+BENCHMARK(BM_LegacyZeroDelayYield)->Arg(256)->Arg(4096);
+
+// --- component microbenchmarks (unchanged scenarios) ----------------------
 
 void BM_FifoServerPost(benchmark::State& state) {
   sim::Engine eng;

@@ -359,7 +359,9 @@ class Context {
     --live_children_;
     if (live_children_ == 0 && sync_waiter_) {
       auto h = std::exchange(sync_waiter_, {});
-      machine_->engine().schedule(machine_->engine().now(), h);
+      // Sync wakeups are same-timestamp by construction: use the engine's
+      // zero-delay FIFO lane so deep spawn trees never churn the heap.
+      machine_->engine().schedule_now(h);
     }
   }
 

@@ -114,15 +114,19 @@ class SumReducer {
   }
 
   /// Combine all partials: the calling thread reads each nodelet's partial
-  /// through the normal migratory path and returns the total.
+  /// through the normal migratory path, then migrates home so follow-on
+  /// local operations are charged to the caller's original nodelet (the
+  /// combine loop would otherwise strand the context on nodelet n-1).
   sim::Op<T> reduce(Context& ctx) {
     T total{};
+    const int home = ctx.nodelet();
     const int n = ctx.machine().num_nodelets();
     for (int d = 0; d < n; ++d) {
       if (d != ctx.nodelet()) co_await ctx.migrate_to(d);
       co_await ctx.read_local(partials_.byte_addr_on(d, 0), sizeof(T));
       total += values_[static_cast<std::size_t>(d)];
     }
+    if (ctx.nodelet() != home) co_await ctx.migrate_to(home);
     co_return total;
   }
 

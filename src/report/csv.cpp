@@ -1,9 +1,12 @@
 #include "report/csv.hpp"
 
+#include <cerrno>
+#include <cstring>
+
 namespace emusim::report {
 
 std::string csv_escape(const std::string& s) {
-  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  if (s.find_first_of(",\"\n\r") == std::string::npos) return s;
   std::string out = "\"";
   for (char c : s) {
     if (c == '"') out += '"';
@@ -15,13 +18,22 @@ std::string csv_escape(const std::string& s) {
 
 CsvWriter::CsvWriter(const std::string& path,
                      const std::vector<std::string>& header) {
-  if (path.empty()) return;
+  if (path.empty()) return;  // output deliberately disabled; still ok()
   file_ = std::fopen(path.c_str(), "w");
-  if (file_ != nullptr) row(header);
+  if (file_ == nullptr) {
+    ok_ = false;
+    std::fprintf(stderr, "emusim: cannot open CSV output '%s': %s\n",
+                 path.c_str(), std::strerror(errno));
+    return;
+  }
+  row(header);
 }
 
 CsvWriter::~CsvWriter() {
-  if (file_ != nullptr) std::fclose(file_);
+  if (file_ != nullptr && std::fclose(file_) != 0) {
+    std::fprintf(stderr, "emusim: error closing CSV output: %s\n",
+                 std::strerror(errno));
+  }
 }
 
 void CsvWriter::row(const std::vector<std::string>& cells) {

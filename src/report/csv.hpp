@@ -11,7 +11,10 @@ namespace emusim::report {
 class CsvWriter {
  public:
   /// Opens `path` for writing ("" disables output entirely; calls become
-  /// no-ops so harness code stays unconditional).
+  /// no-ops so harness code stays unconditional).  A nonempty path that
+  /// fails to open is an error: a warning goes to stderr and ok() turns
+  /// false, so harnesses can distinguish "output disabled" from "all rows
+  /// silently discarded".
   explicit CsvWriter(const std::string& path,
                      const std::vector<std::string>& header);
   ~CsvWriter();
@@ -20,12 +23,15 @@ class CsvWriter {
 
   void row(const std::vector<std::string>& cells);
   bool enabled() const { return file_ != nullptr; }
+  /// False when a requested output file could not be opened.
+  bool ok() const { return ok_; }
 
  private:
   std::FILE* file_ = nullptr;
+  bool ok_ = true;
 };
 
-/// Minimal CSV field quoting (commas/quotes/newlines).
+/// Minimal CSV field quoting (commas/quotes/newlines/carriage returns).
 std::string csv_escape(const std::string& s);
 
 }  // namespace emusim::report

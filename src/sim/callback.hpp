@@ -1,0 +1,120 @@
+// SmallFn: a move-only `void()` callable with an inline small-object store.
+//
+// Replaces std::function on the simulator hot path.  Captures up to
+// kInlineBytes live directly inside the object — scheduling a callback then
+// allocates nothing — and only oversized captures fall back to a single heap
+// cell.  Dispatch is one indirect call through a static per-type ops table;
+// moving is a pointer copy (heap case) or the capture's own move (inline
+// case, required to be noexcept so container relocation never throws).
+//
+// Unlike std::function, SmallFn is move-only: event queues and completion
+// hooks hand callables off exactly once, and forbidding copies is what lets
+// the engine guarantee a closure is never deep-copied on dispatch (see the
+// copy-counting regression test in tests/test_engine.cpp).
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace emusim::sim {
+
+class SmallFn {
+ public:
+  /// Inline capture budget.  Sized so the engine's Event stays within one
+  /// cache line while still holding three pointers plus change — every
+  /// callback the simulator itself schedules fits.
+  static constexpr std::size_t kInlineBytes = 32;
+
+  SmallFn() = default;
+
+  template <class F,
+            class = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, SmallFn> &&
+                std::is_invocable_r_v<void, std::remove_cvref_t<F>&>>>
+  SmallFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    using D = std::remove_cvref_t<F>;
+    if constexpr (fits_inline<D>) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      ops_ = &InlineModel<D>::ops;
+    } else {
+      ::new (static_cast<void*>(buf_)) D*(new D(std::forward<F>(f)));
+      ops_ = &HeapModel<D>::ops;
+    }
+  }
+
+  SmallFn(SmallFn&& other) noexcept { move_from(other); }
+  SmallFn& operator=(SmallFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  SmallFn(const SmallFn&) = delete;
+  SmallFn& operator=(const SmallFn&) = delete;
+  ~SmallFn() { reset(); }
+
+  void operator()() { ops_->invoke(buf_); }
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  /// True when the stored callable lives in the inline buffer (exposed so
+  /// tests can pin down which captures allocate).
+  bool is_inline() const noexcept { return ops_ != nullptr && ops_->inline_storage; }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    /// Move-construct the payload into `dst` and destroy it in `src`.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void*) noexcept;
+    bool inline_storage;
+  };
+
+  template <class D>
+  static constexpr bool fits_inline =
+      sizeof(D) <= kInlineBytes && alignof(D) <= alignof(void*) &&
+      std::is_nothrow_move_constructible_v<D>;
+
+  template <class D>
+  struct InlineModel {
+    static void invoke(void* p) { (*static_cast<D*>(p))(); }
+    static void relocate(void* dst, void* src) noexcept {
+      ::new (dst) D(std::move(*static_cast<D*>(src)));
+      static_cast<D*>(src)->~D();
+    }
+    static void destroy(void* p) noexcept { static_cast<D*>(p)->~D(); }
+    static constexpr Ops ops{&invoke, &relocate, &destroy, true};
+  };
+
+  template <class D>
+  struct HeapModel {
+    static void invoke(void* p) { (**static_cast<D**>(p))(); }
+    static void relocate(void* dst, void* src) noexcept {
+      ::new (dst) D*(*static_cast<D**>(src));
+    }
+    static void destroy(void* p) noexcept { delete *static_cast<D**>(p); }
+    static constexpr Ops ops{&invoke, &relocate, &destroy, false};
+  };
+
+  void move_from(SmallFn& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(buf_, other.buf_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(void*) unsigned char buf_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace emusim::sim

@@ -57,6 +57,13 @@ class Op {
   };
 
   Op(Op&& other) noexcept : h_(std::exchange(other.h_, {})) {}
+  Op& operator=(Op&& other) noexcept {
+    if (this != &other) {
+      if (h_) h_.destroy();
+      h_ = std::exchange(other.h_, {});
+    }
+    return *this;
+  }
   Op(const Op&) = delete;
   Op& operator=(const Op&) = delete;
   ~Op() {
@@ -86,6 +93,13 @@ class Op<void> {
   };
 
   Op(Op&& other) noexcept : h_(std::exchange(other.h_, {})) {}
+  Op& operator=(Op&& other) noexcept {
+    if (this != &other) {
+      if (h_) h_.destroy();
+      h_ = std::exchange(other.h_, {});
+    }
+    return *this;
+  }
   Op(const Op&) = delete;
   Op& operator=(const Op&) = delete;
   ~Op() {

@@ -145,12 +145,13 @@ class Semaphore {
   }
 
   /// Release one unit.  If a coroutine is waiting, the unit transfers to it
-  /// directly and it is scheduled to resume at the current time.
+  /// directly and it is scheduled to resume at the current time (via the
+  /// engine's zero-delay FIFO lane — a grant never touches the heap).
   void release() {
     if (!waiters_.empty()) {
       auto h = waiters_.front();
       waiters_.pop_front();
-      eng_->schedule(eng_->now(), h);
+      eng_->schedule_now(h);
     } else {
       ++count_;
     }

@@ -12,8 +12,9 @@
 
 #include <coroutine>
 #include <exception>
-#include <functional>
 #include <utility>
+
+#include "sim/callback.hpp"
 
 namespace emusim::sim {
 
@@ -23,7 +24,7 @@ class Task {
   using Handle = std::coroutine_handle<promise_type>;
 
   struct promise_type {
-    std::function<void()> on_complete;
+    SmallFn on_complete;
 
     Task get_return_object() { return Task{Handle::from_promise(*this)}; }
     std::suspend_always initial_suspend() noexcept { return {}; }
@@ -59,8 +60,10 @@ class Task {
   ~Task() { destroy(); }
 
   /// Install a hook invoked (once) after the coroutine finishes.
-  /// Must be called before start().
-  void on_complete(std::function<void()> fn) {
+  /// Must be called before start().  The hook rides a SmallFn: typical
+  /// completion captures (a machine pointer plus a parent context) stay
+  /// inline, so spawning a simulated thread allocates nothing for its hook.
+  void on_complete(SmallFn fn) {
     handle_.promise().on_complete = std::move(fn);
   }
 

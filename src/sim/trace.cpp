@@ -1,5 +1,7 @@
 #include "sim/trace.hpp"
 
+#include "common/check.hpp"
+
 namespace emusim::sim {
 
 const char* to_string(TraceKind k) {
@@ -54,6 +56,7 @@ std::vector<std::vector<std::uint64_t>> Tracer::activity(TraceKind kind,
                                                          int num_entities,
                                                          Time bucket,
                                                          Time end) const {
+  EMUSIM_CHECK(num_entities > 0 && bucket > 0);
   const auto buckets =
       static_cast<std::size_t>(end / bucket + (end % bucket ? 1 : 0));
   std::vector<std::vector<std::uint64_t>> act(

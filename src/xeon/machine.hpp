@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "mem/dram.hpp"
+#include "sim/callback.hpp"
 #include "sim/engine.hpp"
 #include "sim/op.hpp"
 #include "sim/resource.hpp"
@@ -59,9 +60,7 @@ class Core {
     }
     return false;
   }
-  void lfb_wait(std::function<void()> fn) {
-    lfb_waiters_.push_back(std::move(fn));
-  }
+  void lfb_wait(sim::SmallFn fn) { lfb_waiters_.push_back(std::move(fn)); }
   void lfb_release() {
     if (!lfb_waiters_.empty()) {
       auto fn = std::move(lfb_waiters_.front());
@@ -86,7 +85,7 @@ class Core {
 
  private:
   int lfb_free_;
-  std::deque<std::function<void()>> lfb_waiters_;
+  std::deque<sim::SmallFn> lfb_waiters_;
 };
 
 class Machine {

@@ -64,6 +64,120 @@ TEST(Engine, RunUntilStopsAtDeadline) {
   EXPECT_EQ(fired, 2);
 }
 
+TEST(Engine, RunUntilAdvancesClockToDeadline) {
+  Engine eng;
+  int fired = 0;
+  eng.call_at(ns(10), [&] { ++fired; });
+  // Next event past the deadline: the clock still advances to the deadline,
+  // so a caller's subsequent call_at(now() + dt, ...) lands where expected.
+  eng.call_at(ns(100), [&] { ++fired; });
+  eng.run_until(ns(50));
+  EXPECT_EQ(eng.now(), ns(50));
+  // Queue drained entirely before the deadline: same guarantee.
+  eng.run_until(ns(200));
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(eng.now(), ns(200));
+  eng.run_until(ns(300));
+  EXPECT_EQ(eng.now(), ns(300));
+  // A deadline in the past never moves time backwards.
+  eng.run_until(ns(40));
+  EXPECT_EQ(eng.now(), ns(300));
+  // Relative scheduling off the clamped clock observes the full interval.
+  eng.call_in(ns(5), [&] {
+    EXPECT_EQ(eng.now(), ns(305));
+    ++fired;
+  });
+  eng.run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Engine, SameTimestampOrderSpansHeapAndFifoLanes) {
+  // Events 2 and 3 are scheduled for "now" from inside event 0 and take the
+  // zero-delay FIFO fast lane; event 1 was scheduled earlier for the same
+  // timestamp and sits in the heap.  Global insertion order must still win:
+  // the heap's seq-1 event fires before the FIFO's seq-2/seq-3 events.
+  Engine eng;
+  std::vector<int> order;
+  eng.call_at(ns(10), [&] {
+    order.push_back(0);
+    eng.call_in(0, [&] { order.push_back(2); });
+    eng.call_at(ns(10), [&] { order.push_back(3); });
+  });
+  eng.call_at(ns(10), [&] { order.push_back(1); });
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(eng.now(), ns(10));
+}
+
+Task yield_chain(Engine& eng, std::vector<int>* order, int id, int rounds) {
+  for (int r = 0; r < rounds; ++r) {
+    order->push_back(id);
+    co_await eng.sleep(0);
+  }
+}
+
+TEST(Engine, ZeroDelayYieldsInterleaveRoundRobin) {
+  // Zero-delay sleeps ride the FIFO lane; seq order degenerates to a fair
+  // round-robin over the ready tasks, all at one timestamp.
+  Engine eng;
+  std::vector<int> order;
+  std::vector<Task> tasks;
+  for (int id = 0; id < 3; ++id) {
+    tasks.push_back(yield_chain(eng, &order, id, 3));
+  }
+  for (auto& t : tasks) t.start();
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 0, 1, 2, 0, 1, 2}));
+  EXPECT_EQ(eng.now(), 0);
+}
+
+struct CopyCountingCallable {
+  int* copies;
+  int* invocations;
+  CopyCountingCallable(int* c, int* i) : copies(c), invocations(i) {}
+  CopyCountingCallable(const CopyCountingCallable& o)
+      : copies(o.copies), invocations(o.invocations) {
+    ++*copies;
+  }
+  CopyCountingCallable(CopyCountingCallable&& o) noexcept = default;
+  void operator()() { ++*invocations; }
+};
+
+TEST(Engine, DispatchNeverCopiesCallbacks) {
+  // Regression for the old std::priority_queue engine, which copied the
+  // event (and its closure) out of top() before pop on every dispatch.
+  Engine eng;
+  int copies = 0;
+  int invocations = 0;
+  // Surround the counted event with neighbors at other timestamps so heap
+  // sift-up and sift-down both relocate it.
+  for (int i = 0; i < 16; ++i) eng.call_at(ns(i), [] {});
+  eng.call_at(ns(8), CopyCountingCallable(&copies, &invocations));
+  for (int i = 16; i < 32; ++i) eng.call_at(ns(i), [] {});
+  eng.run();
+  EXPECT_EQ(invocations, 1);
+  EXPECT_EQ(copies, 0);
+}
+
+TEST(Engine, OversizedCaptureFallsBackToHeapAndStillFires) {
+  // Captures beyond SmallFn's inline budget take the heap-cell fallback;
+  // behavior (ordering, invocation) must be identical.
+  Engine eng;
+  struct Big {
+    std::uint64_t payload[12];
+  } big{};
+  big.payload[11] = 42;
+  std::uint64_t seen = 0;
+  SmallFn fn = [big, &seen] { seen = big.payload[11]; };
+  EXPECT_FALSE(fn.is_inline());
+  eng.call_at(ns(1), std::move(fn));
+  SmallFn small = [&seen] { ++seen; };
+  EXPECT_TRUE(small.is_inline());
+  eng.call_at(ns(2), std::move(small));
+  eng.run();
+  EXPECT_EQ(seen, 43u);
+}
+
 TEST(Engine, EventCountAccumulates) {
   Engine eng;
   for (int i = 0; i < 7; ++i) eng.call_at(i, [] {});

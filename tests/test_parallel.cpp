@@ -129,8 +129,28 @@ TEST(SumReducer, LocalAddsAndGlobalReduce) {
   });
   EXPECT_EQ(reduced, 512 * 511 / 2);
   EXPECT_EQ(red.value_unsynchronized(), 512 * 511 / 2);
-  // The reduce pass migrates at most once per nodelet.
+  // The reduce pass migrates at most once per nodelet (plus the hop home).
   EXPECT_LE(m.stats.migrations, 8u);
+}
+
+TEST(SumReducer, ReduceReturnsToCallingNodelet) {
+  // Regression: reduce() used to strand the calling context on nodelet n-1
+  // after the combine loop, so follow-on "local" operations were charged to
+  // the wrong nodelet.
+  Machine m(SystemConfig::chick_hw());
+  SumReducer<std::int64_t> red(m);
+  m.run_root([&](Context& ctx) -> sim::Op<> {
+    co_await ctx.migrate_to(3);  // reduce from a non-zero home nodelet
+    red.add(ctx, 7);
+    const int home = ctx.nodelet();
+    const std::int64_t total = co_await red.reduce(ctx);
+    EXPECT_EQ(total, 7);
+    EXPECT_EQ(ctx.nodelet(), home);
+    // A local write after reduce lands on the home nodelet's channel.
+    const auto before = m.nodelet(home).stats.writes;
+    ctx.write_local(0, 8);
+    EXPECT_EQ(m.nodelet(home).stats.writes, before + 1);
+  });
 }
 
 }  // namespace
