@@ -13,8 +13,6 @@
 
 #include "bench_util.hpp"
 #include "mem/dram.hpp"
-#include "report/csv.hpp"
-#include "report/table.hpp"
 #include "sim/random.hpp"
 #include "sim/task.hpp"
 
@@ -48,15 +46,14 @@ double random_read_bandwidth(const mem::DramTiming& timing,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto opt = bench::parse_options(argc, argv);
-  const int count = opt.quick ? 2000 : 20000;
-  report::CsvWriter csv(opt.csv_path, {"ablation", "bus_bits", "access_bytes",
-                                       "useful_mbps", "efficiency"});
-
-  report::Table t(
+  bench::Harness h("abl_channel_width", argc, argv);
+  const int count = h.quick() ? 2000 : 20000;
+  h.config("reads", static_cast<long long>(count));
+  h.config("per_channel_peak_mbps", "1600");
+  h.axes("bus_bits", "useful_mbps");
+  h.table(
       "Ablation: random reads through one DRAM channel — bus width vs "
       "useful bandwidth (per-channel peak held at 1.6 GB/s)");
-  t.columns({"bus bits", "8B reads MB/s", "64B reads MB/s", "8B efficiency"});
 
   for (int bus_bits : {8, 16, 32, 64}) {
     mem::DramTiming timing = mem::DramTiming::ncdram_chick();
@@ -64,20 +61,19 @@ int main(int argc, char** argv) {
     // Hold peak constant: wider bus, proportionally slower transfer clock.
     timing.transfer_rate_mts = 1600.0 * 8 / bus_bits;
 
-    const double bw8 = random_read_bandwidth(timing, 8, count);
-    const double bw64 = random_read_bandwidth(timing, 64, count);
+    const double bw8 = bench::repeated(
+        h, [&] { return random_read_bandwidth(timing, 8, count); });
+    const double bw64 = bench::repeated(
+        h, [&] { return random_read_bandwidth(timing, 64, count); });
     const double eff = bw8 / (timing.bytes_per_sec() / 1e6);
-    t.row({report::Table::integer(bus_bits), report::Table::num(bw8),
-           report::Table::num(bw64), report::Table::num(eff, 3)});
-    csv.row({"channel_width", report::Table::integer(bus_bits), "8",
-             report::Table::num(bw8), report::Table::num(eff, 3)});
-    csv.row({"channel_width", report::Table::integer(bus_bits), "64",
-             report::Table::num(bw64), ""});
+    if (h.enabled("read8")) {
+      h.add("read8", bus_bits, bw8, {{"efficiency", eff}});
+    }
+    if (h.enabled("read64")) h.add("read64", bus_bits, bw64);
   }
-  t.print();
   std::printf(
       "\nNote: with the peak held constant, every width moves 64 B bursts "
       "equally well;\nthe narrow bus wins on 8 B requests because its "
       "minimum burst matches the request.\n");
-  return 0;
+  return h.done();
 }

@@ -4,30 +4,24 @@
 // status) precisely so migrations stay cheap.  This sweep grows the context
 // and watches inter-node ping-pong and block-1 chasing on the 8-node
 // full-speed system, where contexts actually cross the RapidIO fabric.
-#include <cstdio>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "kernels/chase_emu.hpp"
 #include "kernels/pingpong.hpp"
-#include "report/csv.hpp"
-#include "report/table.hpp"
 
 using namespace emusim;
 
 int main(int argc, char** argv) {
-  const auto opt = bench::parse_options(argc, argv);
-  report::CsvWriter csv(opt.csv_path,
-                        {"ablation", "context_bytes", "internode_pingpong_mps",
-                         "chase_block1_mbps"});
-
-  report::Table t(
-      "Ablation: thread context size on the 8-node full-speed system");
-  t.columns({"context B", "inter-node ping-pong M mig/s",
-             "chase block=1 MB/s"});
+  bench::Harness h("abl_context_size", argc, argv);
+  bench::record_config(h, emu::SystemConfig::fullspeed_multinode(8));
+  h.axes("context_bytes", "rate");
+  h.table(
+      "Ablation: thread context size on the 8-node full-speed system "
+      "(ping-pong M mig/s, chase block=1 MB/s)", 2);
 
   const std::vector<std::size_t> sizes =
-      opt.quick ? std::vector<std::size_t>{200, 3200}
+      h.quick() ? std::vector<std::size_t>{200, 3200}
                 : std::vector<std::size_t>{100, 200, 400, 800, 1600, 3200};
   for (std::size_t bytes : sizes) {
     auto cfg = emu::SystemConfig::fullspeed_multinode(8);
@@ -35,28 +29,29 @@ int main(int argc, char** argv) {
 
     kernels::PingPongParams pp;
     pp.threads = 64;
-    pp.round_trips = opt.quick ? 100 : 500;
+    pp.round_trips = h.quick() ? 100 : 500;
     pp.nodelet_a = 0;
     pp.nodelet_b = cfg.nodelets_per_node;  // first nodelet of node 1
-    const auto pr = kernels::run_pingpong(cfg, pp);
+    const auto pr =
+        bench::repeated(h, [&] { return kernels::run_pingpong(cfg, pp); });
 
     kernels::ChaseEmuParams cp;
-    cp.n = opt.quick ? (1u << 14) : (1u << 16);
+    cp.n = h.quick() ? (1u << 14) : (1u << 16);
     cp.block = 1;
-    cp.threads = opt.quick ? 256 : 1024;
-    const auto cr = kernels::run_chase_emu(cfg, cp);
-    if (!cr.verified) {
-      std::fprintf(stderr, "FAIL: verification failed\n");
-      return 1;
-    }
+    cp.threads = h.quick() ? 256 : 1024;
+    const auto cr =
+        bench::repeated(h, [&] { return kernels::run_chase_emu(cfg, cp); });
+    if (!cr.verified) h.fail("chase verification failed");
 
-    t.row({report::Table::integer(static_cast<long long>(bytes)),
-           report::Table::num(pr.migrations_per_sec / 1e6, 2),
-           report::Table::num(cr.mb_per_sec)});
-    csv.row({"context_size", report::Table::integer(static_cast<long long>(bytes)),
-             report::Table::num(pr.migrations_per_sec / 1e6, 3),
-             report::Table::num(cr.mb_per_sec)});
+    if (h.enabled("pingpong_internode_mps")) {
+      h.add("pingpong_internode_mps", static_cast<double>(bytes),
+            pr.migrations_per_sec / 1e6,
+            {{"sim_ms", to_seconds(pr.elapsed) * 1e3}});
+    }
+    if (h.enabled("chase_block1_mbps")) {
+      h.add("chase_block1_mbps", static_cast<double>(bytes), cr.mb_per_sec,
+            {{"sim_ms", to_seconds(cr.elapsed) * 1e3}});
+    }
   }
-  t.print();
-  return 0;
+  return h.done();
 }

@@ -2,54 +2,53 @@
 // grain size of 16,384 for cilk_spawn works best for CPU-based SpMV while a
 // much smaller grain size of 16 elements per spawn is most effective for
 // the Emu implementation."
-#include <cstdio>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "kernels/spmv_emu.hpp"
 #include "kernels/spmv_xeon.hpp"
-#include "report/csv.hpp"
-#include "report/table.hpp"
 
 using namespace emusim;
 
 int main(int argc, char** argv) {
-  const auto opt = bench::parse_options(argc, argv);
-  const std::size_t n = opt.quick ? 100 : 800;  // 5*n^2 nonzeros
-
-  report::CsvWriter csv(opt.csv_path,
-                        {"ablation", "platform", "grain", "mb_per_sec"});
-  report::Table t("Ablation: SpMV spawn grain (nonzeros per task), Laplacian n=" +
-                  std::to_string(n));
-  t.columns({"grain", "emu 2D MB/s", "xeon cilk_spawn MB/s"});
+  bench::Harness h("abl_grain", argc, argv);
+  const std::size_t n = h.quick() ? 100 : 800;  // 5*n^2 nonzeros
+  bench::record_config(h, emu::SystemConfig::chick_hw(), "emu.");
+  bench::record_config(h, xeon::SystemConfig::haswell(), "xeon.");
+  h.config("laplacian_n", static_cast<long long>(n));
+  h.axes("grain", "mb_per_sec");
+  h.table("Ablation: SpMV spawn grain (nonzeros per task), Laplacian n=" +
+          std::to_string(n));
 
   const std::vector<std::size_t> grains =
-      opt.quick ? std::vector<std::size_t>{16, 1024}
+      h.quick() ? std::vector<std::size_t>{16, 1024}
                 : std::vector<std::size_t>{4, 16, 64, 256, 1024, 4096, 16384};
   for (std::size_t g : grains) {
     kernels::SpmvEmuParams ep;
     ep.laplacian_n = n;
     ep.layout = kernels::SpmvLayout::two_d;
     ep.grain = g;
-    const auto er = kernels::run_spmv_emu(emu::SystemConfig::chick_hw(), ep);
+    const auto er = bench::repeated(h, [&] {
+      return kernels::run_spmv_emu(emu::SystemConfig::chick_hw(), ep);
+    });
 
     kernels::SpmvXeonParams xp;
     xp.laplacian_n = n;
     xp.impl = kernels::SpmvXeonImpl::cilk_spawn;
     xp.grain = g;
-    const auto xr = kernels::run_spmv_xeon(xeon::SystemConfig::haswell(), xp);
+    const auto xr = bench::repeated(h, [&] {
+      return kernels::run_spmv_xeon(xeon::SystemConfig::haswell(), xp);
+    });
 
-    if (!er.verified || !xr.verified) {
-      std::fprintf(stderr, "FAIL: verification failed\n");
-      return 1;
+    if (!er.verified || !xr.verified) h.fail("verification failed");
+    if (h.enabled("emu_2d")) {
+      h.add("emu_2d", static_cast<double>(g), er.mb_per_sec,
+            {{"sim_ms", to_seconds(er.elapsed) * 1e3}});
     }
-    t.row({report::Table::integer(static_cast<long long>(g)),
-           report::Table::num(er.mb_per_sec), report::Table::num(xr.mb_per_sec)});
-    csv.row({"grain", "emu", report::Table::integer(static_cast<long long>(g)),
-             report::Table::num(er.mb_per_sec)});
-    csv.row({"grain", "xeon", report::Table::integer(static_cast<long long>(g)),
-             report::Table::num(xr.mb_per_sec)});
+    if (h.enabled("xeon_cilk_spawn")) {
+      h.add("xeon_cilk_spawn", static_cast<double>(g), xr.mb_per_sec,
+            {{"sim_ms", to_seconds(xr.elapsed) * 1e3}});
+    }
   }
-  t.print();
-  return 0;
+  return h.done();
 }

@@ -5,32 +5,27 @@
 // block-1 pointer chasing and 1D-layout SpMV.  Shows where each benchmark
 // turns migration-bound — the design-choice discussion of DESIGN.md §4.
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "kernels/chase_emu.hpp"
 #include "kernels/spmv_emu.hpp"
-#include "report/csv.hpp"
-#include "report/table.hpp"
 
 using namespace emusim;
 
 int main(int argc, char** argv) {
-  const auto opt = bench::parse_options(argc, argv);
-  report::CsvWriter csv(opt.csv_path,
-                        {"ablation", "migrations_per_sec", "latency_us",
-                         "chase_block1_mbps", "spmv_1d_mbps"});
-
-  report::Table t(
+  bench::Harness h("abl_migration_cost", argc, argv);
+  bench::record_config(h, emu::SystemConfig::chick_hw());
+  h.axes("migrations_per_sec", "mb_per_sec");
+  h.table(
       "Ablation: migration engine throughput/latency vs migration-bound "
       "benchmarks (chick_hw otherwise)");
-  t.columns({"mig/s (M)", "latency (us)", "chase block=1 MB/s",
-             "SpMV 1D MB/s"});
 
   const std::vector<double> rates =
-      opt.quick ? std::vector<double>{9e6, 16e6}
+      h.quick() ? std::vector<double>{9e6, 16e6}
                 : std::vector<double>{4.5e6, 9e6, 16e6, 32e6, 64e6};
-  const std::vector<double> lat_us = opt.quick
+  const std::vector<double> lat_us = h.quick()
                                          ? std::vector<double>{1.4}
                                          : std::vector<double>{0.7, 1.4, 2.8};
 
@@ -39,30 +34,38 @@ int main(int argc, char** argv) {
       auto cfg = emu::SystemConfig::chick_hw();
       cfg.migrations_per_sec = rate;
       cfg.migration_latency = us(lu);
+      // The latency dimension becomes a categorical label so the 2D sweep
+      // keeps one point per (rate, latency) cell.
+      char lbl[48];
+      std::snprintf(lbl, sizeof lbl, "%gM/%gus", rate / 1e6, lu);
 
       kernels::ChaseEmuParams cp;
-      cp.n = opt.quick ? (1u << 14) : (1u << 16);
+      cp.n = h.quick() ? (1u << 14) : (1u << 16);
       cp.block = 1;
-      cp.threads = opt.quick ? 64 : 512;
-      const auto cr = kernels::run_chase_emu(cfg, cp);
+      cp.threads = h.quick() ? 64 : 512;
+      const auto cr =
+          bench::repeated(h, [&] { return kernels::run_chase_emu(cfg, cp); });
 
       kernels::SpmvEmuParams sp;
-      sp.laplacian_n = opt.quick ? 50 : 100;
+      sp.laplacian_n = h.quick() ? 50 : 100;
       sp.layout = kernels::SpmvLayout::one_d;
-      const auto sr = kernels::run_spmv_emu(cfg, sp);
+      const auto sr =
+          bench::repeated(h, [&] { return kernels::run_spmv_emu(cfg, sp); });
 
-      if (!cr.verified || !sr.verified) {
-        std::fprintf(stderr, "FAIL: verification failed\n");
-        return 1;
+      if (!cr.verified || !sr.verified) h.fail("verification failed");
+      if (h.enabled("chase_block1")) {
+        h.add_labeled("chase_block1", lbl, rate, cr.mb_per_sec,
+                      {{"migrations_per_sec", rate},
+                       {"latency_us", lu},
+                       {"sim_ms", to_seconds(cr.elapsed) * 1e3}});
       }
-      t.row({report::Table::num(rate / 1e6), report::Table::num(lu),
-             report::Table::num(cr.mb_per_sec),
-             report::Table::num(sr.mb_per_sec)});
-      csv.row({"migration_cost", report::Table::num(rate, 0),
-               report::Table::num(lu, 2), report::Table::num(cr.mb_per_sec),
-               report::Table::num(sr.mb_per_sec)});
+      if (h.enabled("spmv_1d")) {
+        h.add_labeled("spmv_1d", lbl, rate, sr.mb_per_sec,
+                      {{"migrations_per_sec", rate},
+                       {"latency_us", lu},
+                       {"sim_ms", to_seconds(sr.elapsed) * 1e3}});
+      }
     }
   }
-  t.print();
-  return 0;
+  return h.done();
 }

@@ -5,54 +5,51 @@
 // latency-sensitive benchmarks — quantifying how much of the Xeon's chase
 // deficit is NUMA rather than DRAM-intrinsic (answer: some, but the
 // line/row effects dominate).
-#include <cstdio>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "kernels/chase_xeon.hpp"
 #include "kernels/spmv_xeon.hpp"
-#include "report/csv.hpp"
-#include "report/table.hpp"
 
 using namespace emusim;
 
 int main(int argc, char** argv) {
-  const auto opt = bench::parse_options(argc, argv);
-  report::CsvWriter csv(opt.csv_path,
-                        {"ablation", "remote_ns", "chase_mbps", "spmv_mbps"});
-
-  report::Table t(
+  bench::Harness h("abl_numa", argc, argv);
+  bench::record_config(h, xeon::SystemConfig::sandy_bridge(), "snb.");
+  bench::record_config(h, xeon::SystemConfig::haswell(), "hsw.");
+  h.axes("hop_ns", "mb_per_sec");
+  h.table(
       "Ablation: remote-socket hop latency (interleaved memory) vs "
-      "latency-bound benchmarks");
-  t.columns({"hop (ns)", "chase block=64 MB/s", "SpMV mkl MB/s"});
+      "latency-bound benchmarks — MB/s");
 
-  for (double hop_ns : opt.quick ? std::vector<double>{50}
+  for (double hop_ns : h.quick() ? std::vector<double>{50}
                                  : std::vector<double>{0, 25, 50, 100, 200}) {
     auto snb = xeon::SystemConfig::sandy_bridge();
     snb.remote_socket_latency = ns(hop_ns);
     kernels::ChaseXeonParams cp;
-    cp.n = opt.quick ? (1u << 16) : (std::size_t{1} << 21);
+    cp.n = h.quick() ? (1u << 16) : (std::size_t{1} << 21);
     cp.block = 64;
     cp.threads = 32;
-    const auto cr = kernels::run_chase_xeon(snb, cp);
+    const auto cr =
+        bench::repeated(h, [&] { return kernels::run_chase_xeon(snb, cp); });
 
     auto hsw = xeon::SystemConfig::haswell();
     hsw.remote_socket_latency = ns(hop_ns);
     kernels::SpmvXeonParams sp;
-    sp.laplacian_n = opt.quick ? 50 : 200;
+    sp.laplacian_n = h.quick() ? 50 : 200;
     sp.impl = kernels::SpmvXeonImpl::mkl;
-    const auto sr = kernels::run_spmv_xeon(hsw, sp);
+    const auto sr =
+        bench::repeated(h, [&] { return kernels::run_spmv_xeon(hsw, sp); });
 
-    if (!cr.verified || !sr.verified) {
-      std::fprintf(stderr, "FAIL: verification failed\n");
-      return 1;
+    if (!cr.verified || !sr.verified) h.fail("verification failed");
+    if (h.enabled("chase_block64")) {
+      h.add("chase_block64", hop_ns, cr.mb_per_sec,
+            {{"sim_ms", to_seconds(cr.elapsed) * 1e3}});
     }
-    t.row({report::Table::num(hop_ns, 0), report::Table::num(cr.mb_per_sec),
-           report::Table::num(sr.mb_per_sec)});
-    csv.row({"numa", report::Table::num(hop_ns, 0),
-             report::Table::num(cr.mb_per_sec),
-             report::Table::num(sr.mb_per_sec)});
+    if (h.enabled("spmv_mkl")) {
+      h.add("spmv_mkl", hop_ns, sr.mb_per_sec,
+            {{"sim_ms", to_seconds(sr.elapsed) * 1e3}});
+    }
   }
-  t.print();
-  return 0;
+  return h.done();
 }

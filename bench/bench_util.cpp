@@ -1,0 +1,323 @@
+#include "bench_util.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "emu/config.hpp"
+#include "report/csv.hpp"
+#include "report/table.hpp"
+#include "xeon/config.hpp"
+
+namespace emusim::bench {
+
+namespace {
+
+double wall_now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::string format_x(const report::ResultPoint& p) {
+  if (!p.label.empty()) return p.label;
+  if (p.x == std::floor(p.x) && std::fabs(p.x) < 9e15) {
+    return report::Table::integer(static_cast<long long>(p.x));
+  }
+  return report::Table::num(p.x, 2);
+}
+
+}  // namespace
+
+std::string usage(const std::string& bench_name) {
+  return "usage: " + bench_name +
+         " [--csv <path>] [--json <path>] [--quick] [--filter <substr>]"
+         " [--reps <n>] [--help]\n";
+}
+
+bool parse_options(int argc, char** argv, Options* out, std::string* err,
+                   const std::string& passthrough_prefix) {
+  Options o;
+  auto take_value = [&](int& i, const char* flag, std::string* dst) {
+    if (i + 1 >= argc) {
+      *err = std::string(flag) + " requires an argument";
+      return false;
+    }
+    *dst = argv[++i];
+    return true;
+  };
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strcmp(a, "--csv") == 0) {
+      if (!take_value(i, "--csv", &o.csv_path)) return false;
+    } else if (std::strcmp(a, "--json") == 0) {
+      if (!take_value(i, "--json", &o.json_path)) return false;
+    } else if (std::strcmp(a, "--filter") == 0) {
+      if (!take_value(i, "--filter", &o.filter)) return false;
+    } else if (std::strcmp(a, "--reps") == 0) {
+      std::string v;
+      if (!take_value(i, "--reps", &v)) return false;
+      char* end = nullptr;
+      const long n = std::strtol(v.c_str(), &end, 10);
+      if (end == v.c_str() || *end != '\0' || n < 1 || n > 1000000) {
+        *err = "--reps wants a positive integer, got '" + v + "'";
+        return false;
+      }
+      o.reps = static_cast<int>(n);
+    } else if (std::strcmp(a, "--quick") == 0) {
+      o.quick = true;
+    } else if (std::strcmp(a, "--help") == 0 || std::strcmp(a, "-h") == 0) {
+      o.help = true;
+    } else if (!passthrough_prefix.empty() &&
+               std::strncmp(a, passthrough_prefix.c_str(),
+                            passthrough_prefix.size()) == 0) {
+      o.passthrough.emplace_back(a);
+    } else {
+      *err = std::string("unknown flag '") + a + "'";
+      return false;
+    }
+  }
+  *out = std::move(o);
+  return true;
+}
+
+Harness::Harness(std::string bench_name, int argc, char** argv,
+                 const std::string& passthrough_prefix)
+    : name_(std::move(bench_name)) {
+  std::string err;
+  if (!parse_options(argc, argv, &opt_, &err, passthrough_prefix)) {
+    std::fprintf(stderr, "%s: %s\n%s", name_.c_str(), err.c_str(),
+                 usage(name_).c_str());
+    std::exit(2);
+  }
+  if (opt_.help) {
+    std::fputs(usage(name_).c_str(), stdout);
+    std::exit(0);
+  }
+  result_.bench = name_;
+  result_.quick = opt_.quick;
+  result_.reps = opt_.reps;
+  start_wall_ = wall_now();
+  tables_.push_back(TableGroup{name_, 1, {}});
+}
+
+void Harness::axes(std::string x, std::string y) {
+  result_.x_axis = std::move(x);
+  result_.y_axis = std::move(y);
+}
+
+void Harness::config(const std::string& key, std::string value) {
+  for (auto& [k, v] : result_.config) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  result_.config.emplace_back(key, std::move(value));
+}
+
+void Harness::config(const std::string& key, long long value) {
+  config(key, std::to_string(value));
+}
+
+bool Harness::enabled(const std::string& series) const {
+  return opt_.filter.empty() || series.find(opt_.filter) != std::string::npos;
+}
+
+void Harness::table(const std::string& title, int precision) {
+  for (std::size_t i = 0; i < tables_.size(); ++i) {
+    if (tables_[i].title == title) {
+      current_table_ = i;
+      return;
+    }
+  }
+  // The constructor seeds a default table named after the bench; replace it
+  // if it is still unused so single-table benches get their real title.
+  if (tables_.size() == 1 && tables_[0].series_idx.empty() &&
+      tables_[0].title == name_) {
+    tables_[0].title = title;
+    tables_[0].precision = precision;
+    current_table_ = 0;
+    return;
+  }
+  tables_.push_back(TableGroup{title, precision, {}});
+  current_table_ = tables_.size() - 1;
+}
+
+report::ResultSeries& Harness::series_slot(const std::string& name) {
+  for (std::size_t i = 0; i < result_.series.size(); ++i) {
+    if (result_.series[i].name == name) return result_.series[i];
+  }
+  result_.series.push_back(report::ResultSeries{name, {}});
+  merge_counts_.emplace_back();
+  tables_[current_table_].series_idx.push_back(result_.series.size() - 1);
+  return result_.series.back();
+}
+
+void Harness::add(const std::string& series, double x, double y,
+                  std::vector<std::pair<std::string, double>> extra) {
+  add_labeled(series, "", x, y, std::move(extra));
+}
+
+void Harness::add_labeled(const std::string& series, const std::string& label,
+                          double x, double y,
+                          std::vector<std::pair<std::string, double>> extra) {
+  for (const auto& [k, v] : extra) {
+    if (k == "sim_ms") result_.sim_seconds += v / 1e3;
+  }
+  report::ResultSeries& s = series_slot(series);
+  const std::size_t si =
+      static_cast<std::size_t>(&s - result_.series.data());
+  // Merge with an existing point at the same position (running mean), so a
+  // --reps loop over the same sweep averages instead of duplicating.
+  for (std::size_t pi = 0; pi < s.points.size(); ++pi) {
+    report::ResultPoint& p = s.points[pi];
+    const bool same = label.empty()
+                          ? p.label.empty() &&
+                                std::fabs(p.x - x) <=
+                                    1e-9 * std::fmax(1.0, std::fabs(x))
+                          : p.label == label;
+    if (!same) continue;
+    int& n = merge_counts_[si][pi];
+    ++n;
+    p.y += (y - p.y) / n;
+    for (const auto& [k, v] : extra) {
+      for (auto& [pk, pv] : p.extra) {
+        if (pk == k) {
+          pv += (v - pv) / n;
+          break;
+        }
+      }
+    }
+    return;
+  }
+  s.points.push_back(report::ResultPoint{x, y, label, std::move(extra)});
+  merge_counts_[si].push_back(1);
+}
+
+void Harness::fail(const std::string& msg) {
+  std::fprintf(stderr, "FAIL: %s\n", msg.c_str());
+  std::exit(1);
+}
+
+void Harness::print_tables() const {
+  for (const auto& tg : tables_) {
+    if (tg.series_idx.empty()) continue;
+    report::Table t(tg.title);
+    std::vector<std::string> header = {
+        result_.x_axis.empty() ? std::string("x") : result_.x_axis};
+    for (std::size_t si : tg.series_idx) {
+      header.push_back(result_.series[si].name);
+    }
+    t.columns(header);
+    // Row keys in first-seen order across the table's series.
+    std::vector<const report::ResultPoint*> keys;
+    for (std::size_t si : tg.series_idx) {
+      for (const auto& p : result_.series[si].points) {
+        const bool seen =
+            std::any_of(keys.begin(), keys.end(),
+                        [&p](const report::ResultPoint* k) {
+                          return k->label.empty()
+                                     ? p.label.empty() &&
+                                           std::fabs(k->x - p.x) <=
+                                               1e-9 * std::fmax(
+                                                          1.0, std::fabs(p.x))
+                                     : k->label == p.label;
+                        });
+        if (!seen) keys.push_back(&p);
+      }
+    }
+    for (const report::ResultPoint* key : keys) {
+      std::vector<std::string> cells = {format_x(*key)};
+      for (std::size_t si : tg.series_idx) {
+        const report::ResultSeries& s = result_.series[si];
+        const report::ResultPoint* p = key->label.empty()
+                                           ? s.find(key->x)
+                                           : s.find_label(key->label);
+        cells.push_back(p != nullptr
+                            ? report::Table::num(p->y, tg.precision)
+                            : std::string("-"));
+      }
+      t.row(std::move(cells));
+    }
+    t.print();
+  }
+}
+
+bool Harness::write_csv() const {
+  if (opt_.csv_path.empty()) return true;
+  // Union of extra-metric names, in first-appearance order.
+  std::vector<std::string> extras;
+  for (const auto& s : result_.series) {
+    for (const auto& p : s.points) {
+      for (const auto& [k, v] : p.extra) {
+        if (std::find(extras.begin(), extras.end(), k) == extras.end()) {
+          extras.push_back(k);
+        }
+      }
+    }
+  }
+  std::vector<std::string> header = {
+      "bench", "series",
+      result_.x_axis.empty() ? std::string("x") : result_.x_axis,
+      result_.y_axis.empty() ? std::string("y") : result_.y_axis};
+  header.insert(header.end(), extras.begin(), extras.end());
+  report::CsvWriter csv(opt_.csv_path, header);
+  for (const auto& s : result_.series) {
+    for (const auto& p : s.points) {
+      std::vector<std::string> row = {result_.bench, s.name, format_x(p),
+                                      report::json_number(p.y)};
+      for (const auto& name : extras) {
+        const double* m = p.metric(name);
+        row.push_back(m != nullptr ? report::json_number(*m) : "");
+      }
+      csv.row(row);
+    }
+  }
+  return csv.ok();
+}
+
+int Harness::done() {
+  result_.wall_seconds = wall_now() - start_wall_;
+  result_.fingerprint = report::result_fingerprint(result_);
+  print_tables();
+  bool ok = write_csv();
+  if (!opt_.json_path.empty()) ok = result_.save(opt_.json_path) && ok;
+  return ok ? 0 : 1;
+}
+
+void record_config(Harness& h, const emu::SystemConfig& cfg,
+                   const std::string& prefix) {
+  h.config(prefix + "machine", cfg.name);
+  h.config(prefix + "nodes", static_cast<long long>(cfg.nodes));
+  h.config(prefix + "nodelets_per_node",
+           static_cast<long long>(cfg.nodelets_per_node));
+  h.config(prefix + "gcs_per_nodelet",
+           static_cast<long long>(cfg.gcs_per_nodelet));
+  h.config(prefix + "gc_clock_hz", report::json_number(cfg.gc_clock_hz));
+  h.config(prefix + "threadlet_slots_per_gc",
+           static_cast<long long>(cfg.threadlet_slots_per_gc));
+  h.config(prefix + "migrations_per_sec",
+           report::json_number(cfg.migrations_per_sec));
+  h.config(prefix + "migration_latency_ps",
+           static_cast<long long>(cfg.migration_latency));
+  h.config(prefix + "thread_context_bytes",
+           static_cast<long long>(cfg.thread_context_bytes));
+}
+
+void record_config(Harness& h, const xeon::SystemConfig& cfg,
+                   const std::string& prefix) {
+  h.config(prefix + "machine", cfg.name);
+  h.config(prefix + "cores", static_cast<long long>(cfg.cores));
+  h.config(prefix + "sockets", static_cast<long long>(cfg.sockets));
+  h.config(prefix + "clock_hz", report::json_number(cfg.clock_hz));
+  h.config(prefix + "llc_bytes", static_cast<long long>(cfg.llc_bytes));
+  h.config(prefix + "channels", static_cast<long long>(cfg.channels));
+  h.config(prefix + "remote_socket_latency_ps",
+           static_cast<long long>(cfg.remote_socket_latency));
+}
+
+}  // namespace emusim::bench

@@ -1,29 +1,143 @@
-// Shared plumbing for the figure-regeneration harnesses: flag parsing and
-// common output conventions.  Every binary supports:
-//   --csv <path>   write the series as tidy CSV in addition to the table
-//   --quick        smaller problem sizes / fewer sweep points (CI mode)
+// Shared harness for the figure-regeneration benches.  Every binary accepts
+// the same flags, registers its series with the harness, and gets table
+// printing, tidy CSV, and schema-versioned JSON (docs/RESULTS.md) for free:
+//
+//   --csv <path>    tidy CSV (bench, series, x, y, extra metrics)
+//   --json <path>   machine-readable result (consumed by tools/shapecheck
+//                   and tools/benchdiff)
+//   --quick         smaller problem sizes / fewer sweep points (CI mode)
+//   --filter <str>  run only series whose name contains <str>
+//   --reps <n>      repeat each kernel invocation n times (the simulator is
+//                   deterministic, so this exercises wall-clock stability;
+//                   duplicate points are averaged)
+//   --help          usage
+//
+// Unknown flags and flags missing their argument are usage errors: the
+// harness prints usage and the binary exits with status 2.
 #pragma once
 
-#include <cstring>
+#include <cstddef>
 #include <string>
+#include <utility>
+#include <vector>
+
+#include "common/units.hpp"
+#include "report/results.hpp"
+
+namespace emusim::emu {
+struct SystemConfig;
+}
+namespace emusim::xeon {
+struct SystemConfig;
+}
 
 namespace emusim::bench {
 
 struct Options {
   std::string csv_path;
+  std::string json_path;
   bool quick = false;
+  std::string filter;
+  int reps = 1;
+  bool help = false;
+  /// Flags matching the passthrough prefix (e.g. "--benchmark_" for the
+  /// google-benchmark binary), preserved verbatim for the wrapped tool.
+  std::vector<std::string> passthrough;
 };
 
-inline Options parse_options(int argc, char** argv) {
-  Options o;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
-      o.csv_path = argv[++i];
-    } else if (std::strcmp(argv[i], "--quick") == 0) {
-      o.quick = true;
-    }
-  }
-  return o;
+std::string usage(const std::string& bench_name);
+
+/// Parse argv.  Returns false with a diagnostic in `*err` on unknown flags,
+/// missing arguments, or malformed values — callers must treat that as a
+/// usage error, not a best-effort run.
+bool parse_options(int argc, char** argv, Options* out, std::string* err,
+                   const std::string& passthrough_prefix = "");
+
+/// One bench run: parses flags (exiting on bad usage), collects series
+/// points, and on done() prints per-table pivots and writes CSV/JSON.
+class Harness {
+ public:
+  /// `passthrough_prefix` as in parse_options.  Prints usage and exits(2)
+  /// on a flag error; exits(0) after printing usage for --help.
+  Harness(std::string bench_name, int argc, char** argv,
+          const std::string& passthrough_prefix = "");
+
+  const Options& opt() const { return opt_; }
+  bool quick() const { return opt_.quick; }
+  int reps() const { return opt_.reps; }
+
+  /// Axis names recorded in the JSON schema (e.g. "threads", "mb_per_sec").
+  void axes(std::string x, std::string y);
+
+  /// Record one config fingerprint key (machine parameters, problem sizes).
+  void config(const std::string& key, std::string value);
+  void config(const std::string& key, long long value);
+
+  /// Series-name filter from --filter (substring match; empty = all).
+  bool enabled(const std::string& series) const;
+
+  /// Start (or re-select) a display table; subsequent series registrations
+  /// attach to it.  `precision` is the decimal places for y cells.
+  void table(const std::string& title, int precision = 1);
+
+  /// Add one measurement.  Points with an equal (series, x) are averaged —
+  /// this is what makes --reps loops safe to run over the same sweep.  An
+  /// extra named "sim_ms" also accumulates into the result's sim_seconds.
+  void add(const std::string& series, double x, double y,
+           std::vector<std::pair<std::string, double>> extra = {});
+
+  /// Categorical variant: the point is identified by `label`; `x` is its
+  /// ordinal position (used only for display ordering).
+  void add_labeled(const std::string& series, const std::string& label,
+                   double x, double y,
+                   std::vector<std::pair<std::string, double>> extra = {});
+
+  /// Print FAIL: <msg> and exit(1).  Benches call this when a kernel's
+  /// self-verification fails — results after a failed run are meaningless.
+  [[noreturn]] void fail(const std::string& msg);
+
+  /// Print tables, write CSV/JSON as requested.  Returns the process exit
+  /// code: 0, or 1 when a requested output file could not be written.
+  int done();
+
+  const report::BenchResult& result() const { return result_; }
+
+ private:
+  struct TableGroup {
+    std::string title;
+    int precision = 1;
+    std::vector<std::size_t> series_idx;  ///< indices into result_.series
+  };
+
+  report::ResultSeries& series_slot(const std::string& name);
+  void print_tables() const;
+  bool write_csv() const;
+
+  std::string name_;
+  Options opt_;
+  report::BenchResult result_;
+  std::vector<TableGroup> tables_;
+  std::size_t current_table_ = 0;
+  /// Per-point merge counts, aligned with result_.series[i].points.
+  std::vector<std::vector<int>> merge_counts_;
+  double start_wall_ = 0.0;
+};
+
+/// Record a machine config into the harness fingerprint (prefix
+/// distinguishes multiple configs in one bench, e.g. "hw." vs "sim.").
+void record_config(Harness& h, const emu::SystemConfig& cfg,
+                   const std::string& prefix = "");
+void record_config(Harness& h, const xeon::SystemConfig& cfg,
+                   const std::string& prefix = "");
+
+/// Run `fn` 1 + (reps-1) times and return the last result: `--reps` makes
+/// wall-clock profiles stable while the deterministic sim result is
+/// unchanged.
+template <class Fn>
+auto repeated(const Harness& h, Fn&& fn) {
+  auto r = fn();
+  for (int i = 1; i < h.reps(); ++i) r = fn();
+  return r;
 }
 
 }  // namespace emusim::bench

@@ -6,20 +6,21 @@
 // (Fig 5), fine-grained random access (Fig 6), and migration-bound edge
 // relaxations (Fig 10); the RMAT hub vertices stress load balance the way
 // streaming-graph workloads do.
-#include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "kernels/bfs_emu.hpp"
 #include "kernels/bfs_xeon.hpp"
-#include "report/csv.hpp"
-#include "report/table.hpp"
 
 using namespace emusim;
 
 int main(int argc, char** argv) {
-  const auto opt = bench::parse_options(argc, argv);
-  report::CsvWriter csv(opt.csv_path, {"extension", "graph", "config",
-                                       "mteps", "levels", "migrations"});
+  bench::Harness h("ext_bfs", argc, argv);
+  bench::record_config(h, emu::SystemConfig::chick_hw(), "emu.");
+  bench::record_config(h, xeon::SystemConfig::sandy_bridge(), "xeon.");
+  h.axes("graph", "mteps");
+  h.table("Extension: BFS (MTEPS), Emu model vs Sandy Bridge Xeon", 2);
 
   struct Case {
     const char* name;
@@ -27,57 +28,63 @@ int main(int argc, char** argv) {
     std::size_t source;
   };
   std::vector<Case> cases;
-  cases.push_back({"grid 64x64", graph::make_grid_2d(opt.quick ? 16 : 64), 0});
+  cases.push_back({"grid", graph::make_grid_2d(h.quick() ? 16 : 64), 0});
   {
-    auto g = graph::make_uniform_random(opt.quick ? 1000 : 16384, 16.0, 5);
-    cases.push_back({"uniform n=16k d=16", std::move(g), 0});
+    auto g = graph::make_uniform_random(h.quick() ? 1000 : 16384, 16.0, 5);
+    cases.push_back({"uniform", std::move(g), 0});
   }
   {
-    auto g = graph::make_rmat(opt.quick ? 9 : 13, 16, 5);
+    auto g = graph::make_rmat(h.quick() ? 9 : 13, 16, 5);
     std::size_t hub = 0;
     for (std::size_t v = 0; v < g.num_vertices; ++v) {
       if (g.degree(v) > g.degree(hub)) hub = v;
     }
-    cases.push_back({"rmat scale=13 ef=16", std::move(g), hub});
+    cases.push_back({"rmat", std::move(g), hub});
   }
 
-  report::Table t("Extension: BFS (MTEPS), Emu model vs Sandy Bridge Xeon");
-  t.columns({"graph", "dir. edges", "chick_hw", "levels", "migr/edge",
-             "fullspeed", "xeon(16thr)"});
+  double x = 0;
   for (const auto& c : cases) {
+    const double edges = static_cast<double>(c.g.num_directed_edges());
+    h.config(std::string(c.name) + "_directed_edges",
+             static_cast<long long>(c.g.num_directed_edges()));
+
     kernels::BfsEmuParams p;
     p.g = &c.g;
     p.source = c.source;
-    const auto hw = kernels::run_bfs_emu(emu::SystemConfig::chick_hw(), p);
-    const auto full =
-        kernels::run_bfs_emu(emu::SystemConfig::chick_fullspeed(), p);
+    const auto hw = bench::repeated(h, [&] {
+      return kernels::run_bfs_emu(emu::SystemConfig::chick_hw(), p);
+    });
+    const auto full = bench::repeated(h, [&] {
+      return kernels::run_bfs_emu(emu::SystemConfig::chick_fullspeed(), p);
+    });
     kernels::BfsXeonParams xp;
     xp.g = &c.g;
     xp.source = c.source;
     xp.threads = 16;
-    const auto xr =
-        kernels::run_bfs_xeon(xeon::SystemConfig::sandy_bridge(), xp);
+    const auto xr = bench::repeated(h, [&] {
+      return kernels::run_bfs_xeon(xeon::SystemConfig::sandy_bridge(), xp);
+    });
     if (!hw.verified || !full.verified || !xr.verified) {
-      std::fprintf(stderr, "FAIL: BFS verification failed on %s\n", c.name);
-      return 1;
+      h.fail(std::string("BFS verification failed on ") + c.name);
     }
-    t.row({c.name,
-           report::Table::integer(
-               static_cast<long long>(c.g.num_directed_edges())),
-           report::Table::num(hw.mteps, 2), report::Table::integer(hw.levels),
-           report::Table::num(static_cast<double>(hw.migrations) /
-                                  static_cast<double>(c.g.num_directed_edges()),
-                              2),
-           report::Table::num(full.mteps, 2),
-           report::Table::num(xr.mteps, 2)});
-    csv.row({"bfs", c.name, "chick_hw", report::Table::num(hw.mteps, 3),
-             report::Table::integer(hw.levels),
-             report::Table::integer(static_cast<long long>(hw.migrations))});
-    csv.row({"bfs", c.name, "chick_fullspeed",
-             report::Table::num(full.mteps, 3),
-             report::Table::integer(full.levels),
-             report::Table::integer(static_cast<long long>(full.migrations))});
+
+    if (h.enabled("chick_hw")) {
+      h.add_labeled("chick_hw", c.name, x, hw.mteps,
+                    {{"levels", static_cast<double>(hw.levels)},
+                     {"migrations_per_edge",
+                      static_cast<double>(hw.migrations) / edges},
+                     {"sim_ms", to_seconds(hw.elapsed) * 1e3}});
+    }
+    if (h.enabled("chick_fullspeed")) {
+      h.add_labeled("chick_fullspeed", c.name, x, full.mteps,
+                    {{"levels", static_cast<double>(full.levels)},
+                     {"sim_ms", to_seconds(full.elapsed) * 1e3}});
+    }
+    if (h.enabled("xeon16")) {
+      h.add_labeled("xeon16", c.name, x, xr.mteps,
+                    {{"sim_ms", to_seconds(xr.elapsed) * 1e3}});
+    }
+    x += 1;
   }
-  t.print();
-  return 0;
+  return h.done();
 }

@@ -4,61 +4,54 @@
 // (§III-E).  GUPS itself maps onto the Emu's memory-side atomics — the
 // updating thread never migrates and never waits — so it isolates the
 // fine-grained-traffic advantage without the latency chain.
-#include <cstdio>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "kernels/gups.hpp"
-#include "report/csv.hpp"
-#include "report/table.hpp"
 
 using namespace emusim;
 
 int main(int argc, char** argv) {
-  const auto opt = bench::parse_options(argc, argv);
-  report::CsvWriter csv(opt.csv_path, {"extension", "platform", "threads",
-                                       "gups", "mb_per_sec"});
-
-  report::Table t("Extension: GUPS (random 8 B updates), Emu chick_hw vs "
-                  "Sandy Bridge Xeon");
-  t.columns({"platform", "threads", "GUPS", "MB/s", "migrations"});
+  bench::Harness h("ext_gups", argc, argv);
+  bench::record_config(h, emu::SystemConfig::chick_hw(), "emu.");
+  bench::record_config(h, xeon::SystemConfig::sandy_bridge(), "xeon.");
+  h.axes("threads", "giga_updates_per_sec");
+  h.table("Extension: GUPS (random 8 B updates), Emu chick_hw vs "
+          "Sandy Bridge Xeon", 4);
 
   kernels::GupsParams p;
-  p.table_words = opt.quick ? (1u << 16) : (std::size_t{1} << 22);
-  p.updates = opt.quick ? (1u << 14) : (1u << 18);
+  p.table_words = h.quick() ? (1u << 16) : (std::size_t{1} << 22);
+  p.updates = h.quick() ? (1u << 14) : (1u << 18);
+  h.config("table_words", static_cast<long long>(p.table_words));
+  h.config("updates", static_cast<long long>(p.updates));
 
-  for (int threads : opt.quick ? std::vector<int>{64}
-                               : std::vector<int>{64, 256, 512}) {
-    p.threads = threads;
-    const auto r = kernels::run_gups_emu(emu::SystemConfig::chick_hw(), p);
-    if (!r.verified) {
-      std::fprintf(stderr, "FAIL: emu GUPS verification failed\n");
-      return 1;
+  if (h.enabled("emu")) {
+    for (int threads : h.quick() ? std::vector<int>{64}
+                                 : std::vector<int>{64, 256, 512}) {
+      p.threads = threads;
+      const auto r = bench::repeated(h, [&] {
+        return kernels::run_gups_emu(emu::SystemConfig::chick_hw(), p);
+      });
+      if (!r.verified) h.fail("emu GUPS verification failed");
+      h.add("emu", threads, r.giga_updates_per_sec,
+            {{"mb_per_sec", r.mb_per_sec},
+             {"migrations", static_cast<double>(r.migrations)},
+             {"sim_ms", to_seconds(r.elapsed) * 1e3}});
     }
-    t.row({"emu", report::Table::integer(threads),
-           report::Table::num(r.giga_updates_per_sec, 4),
-           report::Table::num(r.mb_per_sec),
-           report::Table::integer(static_cast<long long>(r.migrations))});
-    csv.row({"gups", "emu", report::Table::integer(threads),
-             report::Table::num(r.giga_updates_per_sec, 5),
-             report::Table::num(r.mb_per_sec)});
   }
 
-  for (int threads : opt.quick ? std::vector<int>{16}
-                               : std::vector<int>{8, 16, 32}) {
-    p.threads = threads;
-    const auto r = kernels::run_gups_xeon(xeon::SystemConfig::sandy_bridge(), p);
-    if (!r.verified) {
-      std::fprintf(stderr, "FAIL: xeon GUPS verification failed\n");
-      return 1;
+  if (h.enabled("xeon")) {
+    for (int threads : h.quick() ? std::vector<int>{16}
+                                 : std::vector<int>{8, 16, 32}) {
+      p.threads = threads;
+      const auto r = bench::repeated(h, [&] {
+        return kernels::run_gups_xeon(xeon::SystemConfig::sandy_bridge(), p);
+      });
+      if (!r.verified) h.fail("xeon GUPS verification failed");
+      h.add("xeon", threads, r.giga_updates_per_sec,
+            {{"mb_per_sec", r.mb_per_sec},
+             {"sim_ms", to_seconds(r.elapsed) * 1e3}});
     }
-    t.row({"xeon", report::Table::integer(threads),
-           report::Table::num(r.giga_updates_per_sec, 4),
-           report::Table::num(r.mb_per_sec), "-"});
-    csv.row({"gups", "xeon", report::Table::integer(threads),
-             report::Table::num(r.giga_updates_per_sec, 5),
-             report::Table::num(r.mb_per_sec)});
   }
-  t.print();
-  return 0;
+  return h.done();
 }

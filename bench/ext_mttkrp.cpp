@@ -3,66 +3,71 @@
 // study.  Expected shape: 2D slice-partitioned layout far ahead of the 1D
 // word-striped layout on the Emu (same mechanism as Fig 9a), with the
 // Haswell comparison scaling with rank as arithmetic amortizes the stream.
-#include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "kernels/mttkrp.hpp"
-#include "report/csv.hpp"
-#include "report/table.hpp"
 
 using namespace emusim;
 
 int main(int argc, char** argv) {
-  const auto opt = bench::parse_options(argc, argv);
-  report::CsvWriter csv(opt.csv_path, {"extension", "impl", "rank", "mflops",
-                                       "mb_per_sec", "migrations"});
+  bench::Harness h("ext_mttkrp", argc, argv);
+  bench::record_config(h, emu::SystemConfig::chick_hw(), "emu.");
+  bench::record_config(h, xeon::SystemConfig::haswell(), "xeon.");
 
-  const std::size_t dim = opt.quick ? 64 : 256;
-  const std::size_t nnz = opt.quick ? 4000 : 100000;
+  const std::size_t dim = h.quick() ? 64 : 256;
+  const std::size_t nnz = h.quick() ? 4000 : 100000;
   const auto x = tensor::make_random_tensor(dim, dim, dim, nnz, 31);
+  h.config("dim", static_cast<long long>(dim));
+  h.config("nnz", static_cast<long long>(x.nnz()));
+  h.axes("rank", "mflops");
+  h.table("Extension: mode-0 MTTKRP, " + std::to_string(x.nnz()) +
+          " nonzeros, dims " + std::to_string(dim) + "^3");
 
-  report::Table t("Extension: mode-0 MTTKRP, " + std::to_string(x.nnz()) +
-                  " nonzeros, dims " + std::to_string(dim) + "^3");
-  t.columns({"rank", "emu 1d Mflop/s", "emu 2d Mflop/s", "emu 2d migr",
-             "haswell Mflop/s"});
-
-  for (int rank : opt.quick ? std::vector<int>{8}
+  for (int rank : h.quick() ? std::vector<int>{8}
                             : std::vector<int>{4, 8, 16}) {
     kernels::MttkrpEmuParams ep;
     ep.x = &x;
     ep.rank = rank;
     ep.layout = kernels::MttkrpLayout::one_d;
-    const auto one = kernels::run_mttkrp_emu(emu::SystemConfig::chick_hw(), ep);
-    ep.layout = kernels::MttkrpLayout::two_d;
-    const auto two = kernels::run_mttkrp_emu(emu::SystemConfig::chick_hw(), ep);
+    const auto one = bench::repeated(h, [&] {
+      return kernels::run_mttkrp_emu(emu::SystemConfig::chick_hw(), ep);
+    });
+    kernels::MttkrpEmuParams ep2 = ep;
+    ep2.layout = kernels::MttkrpLayout::two_d;
+    const auto two = bench::repeated(h, [&] {
+      return kernels::run_mttkrp_emu(emu::SystemConfig::chick_hw(), ep2);
+    });
 
     kernels::MttkrpXeonParams xp;
     xp.x = &x;
     xp.rank = rank;
     xp.threads = 56;
-    const auto hw = kernels::run_mttkrp_xeon(xeon::SystemConfig::haswell(), xp);
+    const auto hw = bench::repeated(h, [&] {
+      return kernels::run_mttkrp_xeon(xeon::SystemConfig::haswell(), xp);
+    });
 
     if (!one.verified || !two.verified || !hw.verified) {
-      std::fprintf(stderr, "FAIL: MTTKRP verification failed (rank %d)\n",
-                   rank);
-      return 1;
+      h.fail("MTTKRP verification failed (rank " + std::to_string(rank) + ")");
     }
-    t.row({report::Table::integer(rank), report::Table::num(one.mflops, 1),
-           report::Table::num(two.mflops, 1),
-           report::Table::integer(static_cast<long long>(two.migrations)),
-           report::Table::num(hw.mflops, 1)});
-    csv.row({"mttkrp", "emu_1d", report::Table::integer(rank),
-             report::Table::num(one.mflops, 2),
-             report::Table::num(one.mb_per_sec, 2),
-             report::Table::integer(static_cast<long long>(one.migrations))});
-    csv.row({"mttkrp", "emu_2d", report::Table::integer(rank),
-             report::Table::num(two.mflops, 2),
-             report::Table::num(two.mb_per_sec, 2),
-             report::Table::integer(static_cast<long long>(two.migrations))});
-    csv.row({"mttkrp", "haswell", report::Table::integer(rank),
-             report::Table::num(hw.mflops, 2),
-             report::Table::num(hw.mb_per_sec, 2), "0"});
+    if (h.enabled("emu_1d")) {
+      h.add("emu_1d", rank, one.mflops,
+            {{"mb_per_sec", one.mb_per_sec},
+             {"migrations", static_cast<double>(one.migrations)},
+             {"sim_ms", to_seconds(one.elapsed) * 1e3}});
+    }
+    if (h.enabled("emu_2d")) {
+      h.add("emu_2d", rank, two.mflops,
+            {{"mb_per_sec", two.mb_per_sec},
+             {"migrations", static_cast<double>(two.migrations)},
+             {"sim_ms", to_seconds(two.elapsed) * 1e3}});
+    }
+    if (h.enabled("haswell")) {
+      h.add("haswell", rank, hw.mflops,
+            {{"mb_per_sec", hw.mb_per_sec},
+             {"sim_ms", to_seconds(hw.elapsed) * 1e3}});
+    }
   }
-  t.print();
-  return 0;
+  return h.done();
 }

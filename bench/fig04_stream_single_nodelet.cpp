@@ -4,52 +4,41 @@
 // Paper shape: bandwidth scales up through ~32 threads and then plateaus
 // (~150 MB/s, one eighth of the node's 1.2 GB/s); the two spawn styles are
 // nearly indistinguishable, showing thread creation is cheap.
-#include <cstdio>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "kernels/stream_emu.hpp"
-#include "report/csv.hpp"
-#include "report/table.hpp"
 
 using namespace emusim;
 using kernels::SpawnStrategy;
 using kernels::StreamParams;
 
 int main(int argc, char** argv) {
-  const auto opt = bench::parse_options(argc, argv);
+  bench::Harness h("fig04_stream_single_nodelet", argc, argv);
   const auto cfg = emu::SystemConfig::chick_hw();
-  const std::size_t n = opt.quick ? (1u << 16) : (1u << 19);
+  const std::size_t n = h.quick() ? (1u << 16) : (1u << 19);
+  bench::record_config(h, cfg);
+  h.config("n", static_cast<long long>(n));
+  h.axes("threads", "mb_per_sec");
+  h.table("Fig 4: STREAM ADD, 1 Emu nodelet (chick_hw), MB/s vs threads");
 
-  report::Table table(
-      "Fig 4: STREAM ADD, 1 Emu nodelet (chick_hw), MB/s vs threads");
-  table.columns({"threads", "serial_spawn", "recursive_spawn"});
-  report::CsvWriter csv(opt.csv_path,
-                        {"figure", "strategy", "threads", "mb_per_sec"});
-
-  const std::vector<int> thread_counts = {1, 2, 4, 8, 16, 24, 32, 48, 64};
-  for (int t : thread_counts) {
-    double mbps[2] = {0, 0};
-    const SpawnStrategy strategies[2] = {SpawnStrategy::serial_spawn,
-                                         SpawnStrategy::recursive_spawn};
-    for (int s = 0; s < 2; ++s) {
+  const SpawnStrategy strategies[2] = {SpawnStrategy::serial_spawn,
+                                       SpawnStrategy::recursive_spawn};
+  for (int t : {1, 2, 4, 8, 16, 24, 32, 48, 64}) {
+    for (auto s : strategies) {
+      if (!h.enabled(kernels::to_string(s))) continue;
       StreamParams p;
       p.n = n;
       p.threads = t;
-      p.strategy = strategies[s];
+      p.strategy = s;
       p.across = 1;  // single nodelet
-      const auto r = kernels::run_stream_add(cfg, p);
-      if (!r.verified) {
-        std::fprintf(stderr, "FAIL: STREAM verification failed\n");
-        return 1;
-      }
-      mbps[s] = r.mb_per_sec;
-      csv.row({"fig4", kernels::to_string(strategies[s]),
-               report::Table::integer(t), report::Table::num(r.mb_per_sec)});
+      const auto r =
+          bench::repeated(h, [&] { return kernels::run_stream_add(cfg, p); });
+      if (!r.verified) h.fail("STREAM verification failed");
+      h.add(kernels::to_string(s), t, r.mb_per_sec,
+            {{"sim_ms", to_seconds(r.elapsed) * 1e3},
+             {"migrations", static_cast<double>(r.migrations)}});
     }
-    table.row({report::Table::integer(t), report::Table::num(mbps[0]),
-               report::Table::num(mbps[1])});
   }
-  table.print();
-  return 0;
+  return h.done();
 }

@@ -5,59 +5,45 @@
 // (~1.2 GB/s); the local-spawn strategies plateau far below it because
 // their workers take contiguous global ranges over element-striped arrays
 // and therefore migrate on nearly every element.
-#include <cstdio>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "kernels/stream_emu.hpp"
-#include "report/csv.hpp"
-#include "report/table.hpp"
 
 using namespace emusim;
 using kernels::SpawnStrategy;
 using kernels::StreamParams;
 
 int main(int argc, char** argv) {
-  const auto opt = bench::parse_options(argc, argv);
+  bench::Harness h("fig05_stream_multi_nodelet", argc, argv);
   const auto cfg = emu::SystemConfig::chick_hw();
-  const std::size_t n = opt.quick ? (1u << 17) : (1u << 20);
+  const std::size_t n = h.quick() ? (1u << 17) : (1u << 20);
+  bench::record_config(h, cfg);
+  h.config("n", static_cast<long long>(n));
+  h.axes("threads", "mb_per_sec");
+  h.table("Fig 5: STREAM ADD, 8 Emu nodelets (chick_hw), MB/s vs threads");
 
   const SpawnStrategy strategies[4] = {
       SpawnStrategy::serial_spawn, SpawnStrategy::recursive_spawn,
       SpawnStrategy::serial_remote_spawn,
       SpawnStrategy::recursive_remote_spawn};
-
-  report::Table table(
-      "Fig 5: STREAM ADD, 8 Emu nodelets (chick_hw), MB/s vs threads");
-  table.columns({"threads", "serial", "recursive", "serial_remote",
-                 "recursive_remote"});
-  report::CsvWriter csv(
-      opt.csv_path,
-      {"figure", "strategy", "threads", "mb_per_sec", "migrations"});
-
   const std::vector<int> thread_counts =
-      opt.quick ? std::vector<int>{8, 64, 256}
+      h.quick() ? std::vector<int>{8, 64, 256}
                 : std::vector<int>{8, 16, 32, 64, 128, 256, 384, 512};
   for (int t : thread_counts) {
-    std::vector<std::string> cells = {report::Table::integer(t)};
     for (auto s : strategies) {
+      if (!h.enabled(kernels::to_string(s))) continue;
       StreamParams p;
       p.n = n;
       p.threads = t;
       p.strategy = s;
-      const auto r = kernels::run_stream_add(cfg, p);
-      if (!r.verified) {
-        std::fprintf(stderr, "FAIL: STREAM verification failed\n");
-        return 1;
-      }
-      cells.push_back(report::Table::num(r.mb_per_sec));
-      csv.row({"fig5", kernels::to_string(s), report::Table::integer(t),
-               report::Table::num(r.mb_per_sec),
-               report::Table::integer(
-                   static_cast<long long>(r.migrations))});
+      const auto r =
+          bench::repeated(h, [&] { return kernels::run_stream_add(cfg, p); });
+      if (!r.verified) h.fail("STREAM verification failed");
+      h.add(kernels::to_string(s), t, r.mb_per_sec,
+            {{"sim_ms", to_seconds(r.elapsed) * 1e3},
+             {"migrations", static_cast<double>(r.migrations)}});
     }
-    table.row(cells);
   }
-  table.print();
-  return 0;
+  return h.done();
 }

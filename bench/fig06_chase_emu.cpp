@@ -6,102 +6,75 @@
 // to spatial locality) except block size 1, where almost every hop
 // migrates; it recovers by a block size of ~4-8.  Bandwidth scales with
 // threads toward ~1 GB/s (about 80% of the machine's STREAM peak).
-#include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "kernels/chase_emu.hpp"
-#include "report/csv.hpp"
-#include "report/table.hpp"
 
 using namespace emusim;
 using kernels::ChaseEmuParams;
 using kernels::ShuffleMode;
 
 int main(int argc, char** argv) {
-  const auto opt = bench::parse_options(argc, argv);
+  bench::Harness h("fig06_chase_emu", argc, argv);
   const auto cfg = emu::SystemConfig::chick_hw();
-  const std::size_t n = opt.quick ? (1u << 15) : (1u << 18);
-
-  report::CsvWriter csv(opt.csv_path,
-                        {"figure", "mode", "threads", "block", "mb_per_sec",
-                         "migrations_per_element"});
+  const std::size_t n = h.quick() ? (1u << 15) : (1u << 18);
+  bench::record_config(h, cfg);
+  h.config("n", static_cast<long long>(n));
+  h.axes("block", "mb_per_sec");
 
   const std::vector<int> thread_counts =
-      opt.quick ? std::vector<int>{64, 512}
+      h.quick() ? std::vector<int>{64, 512}
                 : std::vector<int>{64, 128, 256, 512};
   const std::vector<std::size_t> blocks =
-      opt.quick ? std::vector<std::size_t>{1, 8, 64, 512}
+      h.quick() ? std::vector<std::size_t>{1, 8, 64, 512}
                 : std::vector<std::size_t>{1, 2, 4, 8, 16, 32, 64, 128, 256,
                                            512};
 
-  report::Table t1(
+  auto run = [&](std::size_t block, int threads, ShuffleMode mode) {
+    ChaseEmuParams p;
+    p.n = n;
+    p.block = block;
+    p.threads = threads;
+    p.mode = mode;
+    const auto r =
+        bench::repeated(h, [&] { return kernels::run_chase_emu(cfg, p); });
+    if (!r.verified) h.fail("chase verification failed");
+    return r;
+  };
+
+  h.table(
       "Fig 6a: Pointer chasing, Emu chick_hw, 8 nodelets, "
       "full_block_shuffle — MB/s vs block size");
-  {
-    std::vector<std::string> hdr = {"block"};
-    for (int t : thread_counts) hdr.push_back(std::to_string(t) + " thr");
-    t1.columns(hdr);
-  }
   for (std::size_t b : blocks) {
-    std::vector<std::string> cells = {report::Table::integer(
-        static_cast<long long>(b))};
     for (int t : thread_counts) {
-      if (n / b < static_cast<std::size_t>(t)) {
-        cells.push_back("-");
-        continue;
-      }
-      ChaseEmuParams p;
-      p.n = n;
-      p.block = b;
-      p.threads = t;
-      p.mode = ShuffleMode::full_block_shuffle;
-      const auto r = kernels::run_chase_emu(cfg, p);
-      if (!r.verified) {
-        std::fprintf(stderr, "FAIL: chase verification failed\n");
-        return 1;
-      }
-      cells.push_back(report::Table::num(r.mb_per_sec));
-      csv.row({"fig6", to_string(p.mode), report::Table::integer(t),
-               report::Table::integer(static_cast<long long>(b)),
-               report::Table::num(r.mb_per_sec),
-               report::Table::num(r.migrations_per_element, 3)});
+      const std::string series = "t" + std::to_string(t);
+      if (!h.enabled(series)) continue;
+      if (n / b < static_cast<std::size_t>(t)) continue;
+      const auto r = run(b, t, ShuffleMode::full_block_shuffle);
+      h.add(series, static_cast<double>(b), r.mb_per_sec,
+            {{"sim_ms", to_seconds(r.elapsed) * 1e3},
+             {"migrations_per_element", r.migrations_per_element}});
     }
-    t1.row(cells);
   }
-  t1.print();
 
-  report::Table t2(
-      "Fig 6b: Pointer chasing, Emu chick_hw, 512 threads — MB/s by shuffle "
-      "mode");
-  t2.columns({"block", "intra_block", "block", "full_block"});
+  const int top_threads = h.quick() ? 64 : 512;
+  h.config("top_threads", static_cast<long long>(top_threads));
+  h.table("Fig 6b: Pointer chasing, Emu chick_hw, top threads — MB/s by "
+          "shuffle mode");
   const ShuffleMode modes[3] = {ShuffleMode::intra_block_shuffle,
                                 ShuffleMode::block_shuffle,
                                 ShuffleMode::full_block_shuffle};
-  const int top_threads = opt.quick ? 64 : 512;
   for (std::size_t b : blocks) {
-    std::vector<std::string> cells = {
-        report::Table::integer(static_cast<long long>(b))};
     if (n / b < static_cast<std::size_t>(top_threads)) continue;
     for (auto mode : modes) {
-      ChaseEmuParams p;
-      p.n = n;
-      p.block = b;
-      p.threads = top_threads;
-      p.mode = mode;
-      const auto r = kernels::run_chase_emu(cfg, p);
-      if (!r.verified) {
-        std::fprintf(stderr, "FAIL: chase verification failed\n");
-        return 1;
-      }
-      cells.push_back(report::Table::num(r.mb_per_sec));
-      csv.row({"fig6", to_string(mode), report::Table::integer(top_threads),
-               report::Table::integer(static_cast<long long>(b)),
-               report::Table::num(r.mb_per_sec),
-               report::Table::num(r.migrations_per_element, 3)});
+      if (!h.enabled(to_string(mode))) continue;
+      const auto r = run(b, top_threads, mode);
+      h.add(to_string(mode), static_cast<double>(b), r.mb_per_sec,
+            {{"sim_ms", to_seconds(r.elapsed) * 1e3},
+             {"migrations_per_element", r.migrations_per_element}});
     }
-    t2.row(cells);
   }
-  t2.print();
-  return 0;
+  return h.done();
 }

@@ -6,111 +6,84 @@
 // sizes of 256-4096 elements (≈ one 8 KiB DRAM page); performance declines
 // as blocks grow beyond a page.  Peak utilization stays under ~25% of the
 // machine's STREAM bandwidth (Fig 8).
-#include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "kernels/chase_xeon.hpp"
-#include "report/csv.hpp"
-#include "report/table.hpp"
 
 using namespace emusim;
 using kernels::ChaseXeonParams;
 using kernels::ShuffleMode;
 
 int main(int argc, char** argv) {
-  const auto opt = bench::parse_options(argc, argv);
+  bench::Harness h("fig07_chase_xeon", argc, argv);
   const auto cfg = xeon::SystemConfig::sandy_bridge();
   // The list must be much larger than the LLC or the single-pass reuse of
   // the 4 elements per line is absorbed by the cache (the paper's lists are
-  // DRAM-resident).
-  const std::size_t n = opt.quick ? (1u << 16) : (std::size_t{1} << 22);
-
-  report::CsvWriter csv(opt.csv_path,
-                        {"figure", "mode", "threads", "block", "mb_per_sec",
-                         "llc_hit_rate", "row_miss_fraction"});
+  // DRAM-resident).  Quick mode keeps that property at ~2x the LLC.
+  const std::size_t n = h.quick() ? (std::size_t{1} << 21)
+                                  : (std::size_t{1} << 22);
+  bench::record_config(h, cfg);
+  h.config("n", static_cast<long long>(n));
+  h.axes("block", "mb_per_sec");
 
   const std::vector<int> thread_counts =
-      opt.quick ? std::vector<int>{4, 32} : std::vector<int>{1, 8, 16, 32};
+      h.quick() ? std::vector<int>{4, 32} : std::vector<int>{1, 8, 16, 32};
   const std::vector<std::size_t> blocks =
-      opt.quick
+      h.quick()
           ? std::vector<std::size_t>{1, 64, 1024, 16384}
           : std::vector<std::size_t>{1,   4,    16,   64,   256,  1024,
                                      4096, 16384, 65536};
 
-  report::Table t1(
+  auto run = [&](std::size_t block, int threads, ShuffleMode mode) {
+    ChaseXeonParams p;
+    p.n = n;
+    p.block = block;
+    p.threads = threads;
+    p.mode = mode;
+    const auto r =
+        bench::repeated(h, [&] { return kernels::run_chase_xeon(cfg, p); });
+    if (!r.verified) h.fail("chase verification failed");
+    return r;
+  };
+  auto extras = [](const kernels::ChaseXeonResult& r) {
+    const double accesses =
+        static_cast<double>(r.row_hits) + static_cast<double>(r.row_misses);
+    return std::vector<std::pair<std::string, double>>{
+        {"sim_ms", to_seconds(r.elapsed) * 1e3},
+        {"llc_hit_rate", r.llc_hit_rate},
+        {"row_miss_fraction",
+         accesses > 0 ? static_cast<double>(r.row_misses) / accesses : 0.0}};
+  };
+
+  h.table(
       "Fig 7a: Pointer chasing, Sandy Bridge Xeon, full_block_shuffle — "
       "MB/s vs block size");
-  {
-    std::vector<std::string> hdr = {"block"};
-    for (int t : thread_counts) hdr.push_back(std::to_string(t) + " thr");
-    t1.columns(hdr);
-  }
   for (std::size_t b : blocks) {
-    std::vector<std::string> cells = {
-        report::Table::integer(static_cast<long long>(b))};
     for (int t : thread_counts) {
-      if (n / b < static_cast<std::size_t>(t)) {
-        cells.push_back("-");
-        continue;
-      }
-      ChaseXeonParams p;
-      p.n = n;
-      p.block = b;
-      p.threads = t;
-      p.mode = ShuffleMode::full_block_shuffle;
-      const auto r = kernels::run_chase_xeon(cfg, p);
-      if (!r.verified) {
-        std::fprintf(stderr, "FAIL: chase verification failed\n");
-        return 1;
-      }
-      cells.push_back(report::Table::num(r.mb_per_sec));
-      const double miss_frac =
-          r.row_hits + r.row_misses
-              ? static_cast<double>(r.row_misses) /
-                    static_cast<double>(r.row_hits + r.row_misses)
-              : 0.0;
-      csv.row({"fig7", to_string(p.mode), report::Table::integer(t),
-               report::Table::integer(static_cast<long long>(b)),
-               report::Table::num(r.mb_per_sec),
-               report::Table::num(r.llc_hit_rate, 3),
-               report::Table::num(miss_frac, 3)});
+      const std::string series = "t" + std::to_string(t);
+      if (!h.enabled(series)) continue;
+      if (n / b < static_cast<std::size_t>(t)) continue;
+      const auto r = run(b, t, ShuffleMode::full_block_shuffle);
+      h.add(series, static_cast<double>(b), r.mb_per_sec, extras(r));
     }
-    t1.row(cells);
   }
-  t1.print();
 
-  report::Table t2(
-      "Fig 7b: Pointer chasing, Sandy Bridge Xeon, 32 threads — MB/s by "
-      "shuffle mode");
-  t2.columns({"block", "intra_block", "block", "full_block"});
+  const int top_threads = h.quick() ? 4 : 32;
+  h.config("top_threads", static_cast<long long>(top_threads));
+  h.table("Fig 7b: Pointer chasing, Sandy Bridge Xeon, top threads — MB/s "
+          "by shuffle mode");
   const ShuffleMode modes[3] = {ShuffleMode::intra_block_shuffle,
                                 ShuffleMode::block_shuffle,
                                 ShuffleMode::full_block_shuffle};
-  const int top_threads = opt.quick ? 4 : 32;
   for (std::size_t b : blocks) {
     if (n / b < static_cast<std::size_t>(top_threads)) continue;
-    std::vector<std::string> cells = {
-        report::Table::integer(static_cast<long long>(b))};
     for (auto mode : modes) {
-      ChaseXeonParams p;
-      p.n = n;
-      p.block = b;
-      p.threads = top_threads;
-      p.mode = mode;
-      const auto r = kernels::run_chase_xeon(cfg, p);
-      if (!r.verified) {
-        std::fprintf(stderr, "FAIL: chase verification failed\n");
-        return 1;
-      }
-      cells.push_back(report::Table::num(r.mb_per_sec));
-      csv.row({"fig7", to_string(mode), report::Table::integer(top_threads),
-               report::Table::integer(static_cast<long long>(b)),
-               report::Table::num(r.mb_per_sec),
-               report::Table::num(r.llc_hit_rate, 3), ""});
+      if (!h.enabled(to_string(mode))) continue;
+      const auto r = run(b, top_threads, mode);
+      h.add(to_string(mode), static_cast<double>(b), r.mb_per_sec, extras(r));
     }
-    t2.row(cells);
   }
-  t2.print();
-  return 0;
+  return h.done();
 }

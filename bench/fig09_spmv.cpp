@@ -6,14 +6,12 @@
 //   9b — Haswell Xeon, 56 threads: MKL-like and cilk_for scale with n into
 //        the GB/s range; cilk_spawn (grain 16384) depends on having enough
 //        nonzeros to fill its coarse tasks.
-#include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "kernels/spmv_emu.hpp"
 #include "kernels/spmv_xeon.hpp"
-#include "report/csv.hpp"
-#include "report/table.hpp"
 
 using namespace emusim;
 using kernels::SpmvEmuParams;
@@ -22,76 +20,65 @@ using kernels::SpmvXeonImpl;
 using kernels::SpmvXeonParams;
 
 int main(int argc, char** argv) {
-  const auto opt = bench::parse_options(argc, argv);
+  bench::Harness h("fig09_spmv", argc, argv);
   const auto emu_cfg = emu::SystemConfig::chick_hw();
   const auto cpu_cfg = xeon::SystemConfig::haswell();
+  bench::record_config(h, emu_cfg, "emu.");
+  bench::record_config(h, cpu_cfg, "xeon.");
+  h.axes("laplacian_n", "mb_per_sec");
 
   const std::vector<std::size_t> sizes =
-      opt.quick ? std::vector<std::size_t>{25, 100}
+      h.quick() ? std::vector<std::size_t>{25, 100}
                 : std::vector<std::size_t>{25, 50, 100, 150, 200, 400, 800};
 
-  report::CsvWriter csv(opt.csv_path, {"figure", "platform", "impl", "n",
-                                       "nnz", "mb_per_sec"});
-
-  report::Table t9a(
+  h.table(
       "Fig 9a: SpMV effective bandwidth, Emu chick_hw (grain 16) — MB/s vs "
       "Laplacian n");
-  t9a.columns({"n", "local", "1d", "2d"});
   const SpmvLayout layouts[3] = {SpmvLayout::local, SpmvLayout::one_d,
                                  SpmvLayout::two_d};
   for (std::size_t n : sizes) {
-    std::vector<std::string> cells = {
-        report::Table::integer(static_cast<long long>(n))};
     for (auto layout : layouts) {
+      if (!h.enabled(to_string(layout))) continue;
       SpmvEmuParams p;
       p.laplacian_n = n;
       p.layout = layout;
       p.grain = 16;
-      const auto r = kernels::run_spmv_emu(emu_cfg, p);
+      const auto r = bench::repeated(
+          h, [&] { return kernels::run_spmv_emu(emu_cfg, p); });
       if (!r.verified) {
-        std::fprintf(stderr, "FAIL: emu SpMV verification failed (%s n=%zu)\n",
-                     to_string(layout), n);
-        return 1;
+        h.fail(std::string("emu SpMV verification failed (") +
+               to_string(layout) + " n=" + std::to_string(n) + ")");
       }
-      cells.push_back(report::Table::num(r.mb_per_sec));
-      csv.row({"fig9a", "emu", to_string(layout),
-               report::Table::integer(static_cast<long long>(n)),
-               report::Table::integer(static_cast<long long>(5 * n * n)),
-               report::Table::num(r.mb_per_sec)});
+      h.add(to_string(layout), static_cast<double>(n), r.mb_per_sec,
+            {{"nnz", static_cast<double>(5 * n * n)},
+             {"sim_ms", to_seconds(r.elapsed) * 1e3},
+             {"migrations", static_cast<double>(r.migrations)}});
     }
-    t9a.row(cells);
   }
-  t9a.print();
 
-  report::Table t9b(
+  h.table(
       "Fig 9b: SpMV effective bandwidth, Haswell Xeon (56 threads) — MB/s "
       "vs Laplacian n");
-  t9b.columns({"n", "mkl", "cilk_for", "cilk_spawn(16384)"});
   const SpmvXeonImpl impls[3] = {SpmvXeonImpl::mkl, SpmvXeonImpl::cilk_for,
                                  SpmvXeonImpl::cilk_spawn};
   for (std::size_t n : sizes) {
-    std::vector<std::string> cells = {
-        report::Table::integer(static_cast<long long>(n))};
     for (auto impl : impls) {
+      if (!h.enabled(to_string(impl))) continue;
       SpmvXeonParams p;
       p.laplacian_n = n;
       p.impl = impl;
       p.threads = 56;
       p.grain = 16384;
-      const auto r = kernels::run_spmv_xeon(cpu_cfg, p);
+      const auto r = bench::repeated(
+          h, [&] { return kernels::run_spmv_xeon(cpu_cfg, p); });
       if (!r.verified) {
-        std::fprintf(stderr, "FAIL: xeon SpMV verification failed (%s n=%zu)\n",
-                     to_string(impl), n);
-        return 1;
+        h.fail(std::string("xeon SpMV verification failed (") +
+               to_string(impl) + " n=" + std::to_string(n) + ")");
       }
-      cells.push_back(report::Table::num(r.mb_per_sec));
-      csv.row({"fig9b", "xeon", to_string(impl),
-               report::Table::integer(static_cast<long long>(n)),
-               report::Table::integer(static_cast<long long>(5 * n * n)),
-               report::Table::num(r.mb_per_sec)});
+      h.add(to_string(impl), static_cast<double>(n), r.mb_per_sec,
+            {{"nnz", static_cast<double>(5 * n * n)},
+             {"sim_ms", to_seconds(r.elapsed) * 1e3}});
     }
-    t9b.row(cells);
   }
-  t9b.print();
-  return 0;
+  return h.done();
 }

@@ -9,99 +9,99 @@
 // (identical but for the idealized migration engine) plays the simulator —
 // reproducing the validation gap by construction, which is precisely the
 // paper's diagnosis of where the discrepancy lives.
-#include <cstdio>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "kernels/chase_emu.hpp"
 #include "kernels/pingpong.hpp"
 #include "kernels/stream_emu.hpp"
-#include "report/csv.hpp"
-#include "report/table.hpp"
 
 using namespace emusim;
 
 int main(int argc, char** argv) {
-  const auto opt = bench::parse_options(argc, argv);
+  bench::Harness h("fig10_validation", argc, argv);
   const auto hw = emu::SystemConfig::chick_hw();
   const auto sim = emu::SystemConfig::chick_as_simulated();
-  report::CsvWriter csv(opt.csv_path,
-                        {"figure", "benchmark", "x", "hardware", "simulator"});
+  bench::record_config(h, hw, "hw.");
+  bench::record_config(h, sim, "sim.");
+  h.axes("x", "mb_per_sec");
 
-  // --- STREAM, 1 nodelet and 8 nodelets ----------------------------------
-  report::Table ts("Fig 10a: STREAM ADD, hardware vs simulator (MB/s)");
-  ts.columns({"config", "threads", "hardware", "simulator", "ratio"});
+  // --- STREAM, 1 nodelet and 8 nodelets: x = nodelet count ----------------
+  h.table("Fig 10a: STREAM ADD, hardware vs simulator (MB/s) vs nodelets");
   struct StreamCase {
-    const char* label;
+    int nodelets;
     int across;
     int threads;
   };
-  const StreamCase stream_cases[] = {{"1 nodelet", 1, 64},
-                                     {"8 nodelets", 0, 512}};
-  for (const auto& c : stream_cases) {
+  for (const auto& c :
+       {StreamCase{1, 1, 64}, StreamCase{8, 0, 512}}) {
     kernels::StreamParams p;
-    p.n = opt.quick ? (1u << 16) : (1u << 19);
+    p.n = h.quick() ? (1u << 16) : (1u << 19);
     p.threads = c.threads;
     p.across = c.across;
     p.strategy = kernels::SpawnStrategy::recursive_remote_spawn;
-    const auto rh = kernels::run_stream_add(hw, p);
-    const auto rs = kernels::run_stream_add(sim, p);
-    ts.row({c.label, report::Table::integer(c.threads),
-            report::Table::num(rh.mb_per_sec), report::Table::num(rs.mb_per_sec),
-            report::Table::num(rs.mb_per_sec / rh.mb_per_sec, 2)});
-    csv.row({"fig10", "stream", c.label, report::Table::num(rh.mb_per_sec),
-             report::Table::num(rs.mb_per_sec)});
+    const auto rh =
+        bench::repeated(h, [&] { return kernels::run_stream_add(hw, p); });
+    const auto rs =
+        bench::repeated(h, [&] { return kernels::run_stream_add(sim, p); });
+    if (!rh.verified || !rs.verified) h.fail("STREAM verification failed");
+    h.add("stream_hw", c.nodelets, rh.mb_per_sec,
+          {{"sim_ms", to_seconds(rh.elapsed) * 1e3}});
+    h.add("stream_sim", c.nodelets, rs.mb_per_sec,
+          {{"sim_ms", to_seconds(rs.elapsed) * 1e3}});
   }
-  ts.print();
 
   // --- pointer chase vs block size ----------------------------------------
-  report::Table tc(
-      "Fig 10b: Pointer chase (512 threads, full_block_shuffle), hardware vs "
-      "simulator (MB/s)");
-  tc.columns({"block", "hardware", "simulator", "ratio"});
+  h.table(
+      "Fig 10b: Pointer chase (full_block_shuffle), hardware vs simulator "
+      "(MB/s) vs block size");
   const std::vector<std::size_t> blocks =
-      opt.quick ? std::vector<std::size_t>{1, 8}
+      h.quick() ? std::vector<std::size_t>{1, 8}
                 : std::vector<std::size_t>{1, 2, 4, 8, 16, 64, 256};
   for (std::size_t b : blocks) {
     kernels::ChaseEmuParams p;
-    p.n = opt.quick ? (1u << 15) : (1u << 17);
+    p.n = h.quick() ? (1u << 15) : (1u << 17);
     p.block = b;
-    p.threads = opt.quick ? 64 : 512;
-    const auto rh = kernels::run_chase_emu(hw, p);
-    const auto rs = kernels::run_chase_emu(sim, p);
-    tc.row({report::Table::integer(static_cast<long long>(b)),
-            report::Table::num(rh.mb_per_sec), report::Table::num(rs.mb_per_sec),
-            report::Table::num(rs.mb_per_sec / rh.mb_per_sec, 2)});
-    csv.row({"fig10", "chase",
-             report::Table::integer(static_cast<long long>(b)),
-             report::Table::num(rh.mb_per_sec),
-             report::Table::num(rs.mb_per_sec)});
+    p.threads = h.quick() ? 64 : 512;
+    const auto rh =
+        bench::repeated(h, [&] { return kernels::run_chase_emu(hw, p); });
+    const auto rs =
+        bench::repeated(h, [&] { return kernels::run_chase_emu(sim, p); });
+    if (!rh.verified || !rs.verified) h.fail("chase verification failed");
+    h.add("chase_hw", static_cast<double>(b), rh.mb_per_sec,
+          {{"sim_ms", to_seconds(rh.elapsed) * 1e3}});
+    h.add("chase_sim", static_cast<double>(b), rs.mb_per_sec,
+          {{"sim_ms", to_seconds(rs.elapsed) * 1e3}});
   }
-  tc.print();
 
   // --- ping-pong migration throughput and latency --------------------------
-  report::Table tp("Fig 10c: Ping-pong thread migration, hardware vs simulator");
-  tp.columns({"metric", "hardware", "simulator"});
+  // Series carry migrations/s at x = thread count; the single-thread case
+  // also records the mean per-migration latency as an extra metric.
+  h.table("Fig 10c: Ping-pong thread migration, hardware vs simulator "
+          "(migrations/s)", 0);
   kernels::PingPongParams pp;
   pp.threads = 64;
-  pp.round_trips = opt.quick ? 200 : 2000;
-  const auto ph = kernels::run_pingpong(hw, pp);
-  const auto ps = kernels::run_pingpong(sim, pp);
-  tp.row({"migrations/s (M)", report::Table::num(ph.migrations_per_sec / 1e6),
-          report::Table::num(ps.migrations_per_sec / 1e6)});
-  csv.row({"fig10", "pingpong", "migrations_per_sec",
-           report::Table::num(ph.migrations_per_sec),
-           report::Table::num(ps.migrations_per_sec)});
+  pp.round_trips = h.quick() ? 200 : 2000;
+  const auto ph =
+      bench::repeated(h, [&] { return kernels::run_pingpong(hw, pp); });
+  const auto ps =
+      bench::repeated(h, [&] { return kernels::run_pingpong(sim, pp); });
+  h.add("pingpong_hw", pp.threads, ph.migrations_per_sec,
+        {{"sim_ms", to_seconds(ph.elapsed) * 1e3}});
+  h.add("pingpong_sim", pp.threads, ps.migrations_per_sec,
+        {{"sim_ms", to_seconds(ps.elapsed) * 1e3}});
 
   kernels::PingPongParams p1 = pp;
   p1.threads = 1;
-  const auto lh = kernels::run_pingpong(hw, p1);
-  const auto ls = kernels::run_pingpong(sim, p1);
-  tp.row({"1-thread latency (us)", report::Table::num(lh.mean_latency_us, 2),
-          report::Table::num(ls.mean_latency_us, 2)});
-  csv.row({"fig10", "pingpong", "latency_us",
-           report::Table::num(lh.mean_latency_us, 3),
-           report::Table::num(ls.mean_latency_us, 3)});
-  tp.print();
-  return 0;
+  const auto lh =
+      bench::repeated(h, [&] { return kernels::run_pingpong(hw, p1); });
+  const auto ls =
+      bench::repeated(h, [&] { return kernels::run_pingpong(sim, p1); });
+  h.add("pingpong_hw", p1.threads, lh.migrations_per_sec,
+        {{"latency_us", lh.mean_latency_us},
+         {"sim_ms", to_seconds(lh.elapsed) * 1e3}});
+  h.add("pingpong_sim", p1.threads, ls.migrations_per_sec,
+        {{"latency_us", ls.mean_latency_us},
+         {"sim_ms", to_seconds(ls.elapsed) * 1e3}});
+  return h.done();
 }

@@ -6,65 +6,52 @@
 // granularity of spatial locality (flat across block sizes, with the
 // block-1 migration-bound dip), and bandwidth keeps scaling up to
 // thousands of threads.
-#include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "kernels/chase_emu.hpp"
-#include "report/csv.hpp"
-#include "report/table.hpp"
 
 using namespace emusim;
 using kernels::ChaseEmuParams;
 
 int main(int argc, char** argv) {
-  const auto opt = bench::parse_options(argc, argv);
+  bench::Harness h("fig11_chase_64nodelet", argc, argv);
   const auto cfg = emu::SystemConfig::fullspeed_multinode(8);
-  const std::size_t n = opt.quick ? (1u << 16) : (1u << 19);
-
-  report::CsvWriter csv(opt.csv_path, {"figure", "threads", "block",
-                                       "mb_per_sec", "migrations_per_element"});
-
-  const std::vector<int> thread_counts =
-      opt.quick ? std::vector<int>{512}
-                : std::vector<int>{512, 1024, 2048, 4096};
-  const std::vector<std::size_t> blocks =
-      opt.quick ? std::vector<std::size_t>{1, 64}
-                : std::vector<std::size_t>{1, 4, 16, 64, 128, 256, 512};
-
-  report::Table t(
+  // Quick mode keeps both of the figure's claims checkable: two thread
+  // counts for the scaling claim, blocks 16 and 64 for the flatness claim
+  // (n/block must stay >= threads).
+  const std::size_t n = h.quick() ? (1u << 17) : (1u << 19);
+  bench::record_config(h, cfg);
+  h.config("n", static_cast<long long>(n));
+  h.axes("block", "mb_per_sec");
+  h.table(
       "Fig 11: Pointer chasing, full-speed Emu, 64 nodelets "
       "(chick_fullspeed x8 nodes), full_block_shuffle — MB/s");
-  {
-    std::vector<std::string> hdr = {"block"};
-    for (int th : thread_counts) hdr.push_back(std::to_string(th) + " thr");
-    t.columns(hdr);
-  }
+
+  const std::vector<int> thread_counts =
+      h.quick() ? std::vector<int>{512, 2048}
+                : std::vector<int>{512, 1024, 2048, 4096};
+  const std::vector<std::size_t> blocks =
+      h.quick() ? std::vector<std::size_t>{1, 16, 64}
+                : std::vector<std::size_t>{1, 4, 16, 64, 128, 256, 512};
+
   for (std::size_t b : blocks) {
-    std::vector<std::string> cells = {
-        report::Table::integer(static_cast<long long>(b))};
-    for (int th : thread_counts) {
-      if (n / b < static_cast<std::size_t>(th)) {
-        cells.push_back("-");
-        continue;
-      }
+    for (int t : thread_counts) {
+      const std::string series = "t" + std::to_string(t);
+      if (!h.enabled(series)) continue;
+      if (n / b < static_cast<std::size_t>(t)) continue;
       ChaseEmuParams p;
       p.n = n;
       p.block = b;
-      p.threads = th;
-      const auto r = kernels::run_chase_emu(cfg, p);
-      if (!r.verified) {
-        std::fprintf(stderr, "FAIL: chase verification failed\n");
-        return 1;
-      }
-      cells.push_back(report::Table::num(r.mb_per_sec));
-      csv.row({"fig11", report::Table::integer(th),
-               report::Table::integer(static_cast<long long>(b)),
-               report::Table::num(r.mb_per_sec),
-               report::Table::num(r.migrations_per_element, 3)});
+      p.threads = t;
+      const auto r =
+          bench::repeated(h, [&] { return kernels::run_chase_emu(cfg, p); });
+      if (!r.verified) h.fail("chase verification failed");
+      h.add(series, static_cast<double>(b), r.mb_per_sec,
+            {{"sim_ms", to_seconds(r.elapsed) * 1e3},
+             {"migrations_per_element", r.migrations_per_element}});
     }
-    t.row(cells);
   }
-  t.print();
-  return 0;
+  return h.done();
 }

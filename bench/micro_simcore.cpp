@@ -14,10 +14,13 @@
 
 #include <coroutine>
 #include <cstdint>
+#include <cstdlib>
 #include <functional>
 #include <queue>
+#include <string>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "mem/dram.hpp"
 #include "sim/engine.hpp"
 #include "sim/resource.hpp"
@@ -260,6 +263,72 @@ void BM_CacheLookupHit(benchmark::State& state) {
 }
 BENCHMARK(BM_CacheLookupHit);
 
+// Forwards google-benchmark's console output unchanged while mirroring each
+// run into the shared harness, so micro_simcore emits the same CSV/JSON
+// schema as the figure benches.  Series = benchmark name up to the '/',
+// x = the Arg after it (0 for argless benchmarks), y = M items/s.
+class CaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit CaptureReporter(bench::Harness& h) : h_(h) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    ConsoleReporter::ReportRuns(runs);
+    for (const auto& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      const std::string name = run.benchmark_name();
+      std::string series = name;
+      double x = 0;
+      if (const auto slash = name.find('/'); slash != std::string::npos) {
+        series = name.substr(0, slash);
+        x = std::atof(name.c_str() + slash + 1);
+      }
+      double mips = 0;
+      if (const auto it = run.counters.find("items_per_second");
+          it != run.counters.end()) {
+        mips = it->second.value / 1e6;
+      }
+      h_.add(series, x, mips,
+             {{"real_time_ns", run.GetAdjustedRealTime()},
+              {"iterations", static_cast<double>(run.iterations)}});
+    }
+  }
+
+ private:
+  bench::Harness& h_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // The harness consumes the common flags; anything starting with
+  // --benchmark_ passes through to google-benchmark untouched.
+  bench::Harness h("micro_simcore", argc, argv, "--benchmark_");
+  h.axes("arg", "m_items_per_sec");
+  h.table("Simulator-core microbenchmarks (M items/s)", 2);
+  h.config("quick", h.quick() ? "1" : "0");
+
+  std::vector<std::string> fwd_storage;
+  fwd_storage.push_back(argv[0]);
+  bool have_min_time = false;
+  for (const auto& flag : h.opt().passthrough) {
+    if (flag.rfind("--benchmark_min_time", 0) == 0) have_min_time = true;
+    fwd_storage.push_back(flag);
+  }
+  // --quick caps measurement time per item unless the caller already chose.
+  if (h.quick() && !have_min_time) {
+    fwd_storage.push_back("--benchmark_min_time=0.01");
+  }
+  if (!h.opt().filter.empty()) {
+    fwd_storage.push_back("--benchmark_filter=" + h.opt().filter);
+  }
+  std::vector<char*> fwd;
+  fwd.reserve(fwd_storage.size());
+  for (auto& s : fwd_storage) fwd.push_back(s.data());
+  int fwd_argc = static_cast<int>(fwd.size());
+
+  benchmark::Initialize(&fwd_argc, fwd.data());
+  CaptureReporter reporter(h);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return h.done();
+}

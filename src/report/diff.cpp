@@ -1,0 +1,73 @@
+#include "report/diff.hpp"
+
+#include <cmath>
+
+namespace emusim::report {
+
+DiffReport diff_results(const std::vector<BenchResult>& baseline,
+                        const std::vector<BenchResult>& candidate,
+                        const DiffOptions& opt) {
+  DiffReport rep;
+  auto find_bench = [&candidate](const std::string& name) -> const BenchResult* {
+    for (const auto& r : candidate) {
+      if (r.bench == name) return &r;
+    }
+    return nullptr;
+  };
+
+  for (const auto& base : baseline) {
+    const BenchResult* cand = find_bench(base.bench);
+    if (cand == nullptr) {
+      rep.problems.push_back("bench '" + base.bench +
+                             "' missing from candidate");
+      continue;
+    }
+    if (!base.fingerprint.empty() && !cand->fingerprint.empty() &&
+        base.fingerprint != cand->fingerprint) {
+      rep.problems.push_back(
+          "bench '" + base.bench + "' config fingerprint mismatch (" +
+          base.fingerprint + " vs " + cand->fingerprint +
+          ") — refresh the baseline, these runs are not comparable");
+      continue;
+    }
+    for (const auto& bs : base.series) {
+      const ResultSeries* cs = cand->find(bs.name);
+      if (cs == nullptr) {
+        rep.problems.push_back("series '" + base.bench + "/" + bs.name +
+                               "' missing from candidate");
+        continue;
+      }
+      for (const auto& bp : bs.points) {
+        const ResultPoint* cp = bp.label.empty()
+                                    ? cs->find(bp.x)
+                                    : cs->find_label(bp.label);
+        if (cp == nullptr) {
+          rep.problems.push_back(
+              "point '" + base.bench + "/" + bs.name + "' at " +
+              (bp.label.empty() ? "x=" + json_number(bp.x) : bp.label) +
+              " missing from candidate");
+          continue;
+        }
+        DiffEntry e;
+        e.bench = base.bench;
+        e.series = bs.name;
+        e.x = bp.x;
+        e.label = bp.label;
+        e.base_y = bp.y;
+        e.cand_y = cp->y;
+        if (bp.y != 0.0) {
+          e.delta_pct = (cp->y - bp.y) / std::fabs(bp.y) * 100.0;
+        } else {
+          e.delta_pct = cp->y == 0.0 ? 0.0 : 100.0;
+        }
+        e.regression = e.delta_pct < -opt.max_regress_pct;
+        if (e.regression) ++rep.regressions;
+        if (e.delta_pct > opt.max_regress_pct) ++rep.improvements;
+        rep.entries.push_back(std::move(e));
+      }
+    }
+  }
+  return rep;
+}
+
+}  // namespace emusim::report

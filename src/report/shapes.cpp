@@ -1,0 +1,280 @@
+#include "report/shapes.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace emusim::report {
+
+namespace {
+
+std::string fmt(double v) { return json_number(v); }
+
+std::string ref_str(const ShapeRef& r) {
+  std::string s = r.series;
+  s += r.label.empty() ? "[x=" + fmt(r.x) + "]" : "[" + r.label + "]";
+  if (!r.metric.empty()) s += "." + r.metric;
+  return s;
+}
+
+/// Resolve a reference to a value; on failure fills `*why` and returns false.
+bool resolve(const BenchResult& res, const ShapeRef& ref, double* out,
+             std::string* why) {
+  const ResultSeries* s = res.find(ref.series);
+  if (s == nullptr) {
+    *why = "series '" + ref.series + "' not in result";
+    return false;
+  }
+  const ResultPoint* p =
+      ref.label.empty() ? s->find(ref.x) : s->find_label(ref.label);
+  if (p == nullptr) {
+    *why = "point " + ref_str(ref) + " not in result";
+    return false;
+  }
+  if (ref.metric.empty()) {
+    *out = p->y;
+    return true;
+  }
+  const double* m = p->metric(ref.metric);
+  if (m == nullptr) {
+    *why = "metric '" + ref.metric + "' not on point " + ref_str(ref);
+    return false;
+  }
+  *out = *m;
+  return true;
+}
+
+double point_value(const ResultPoint& p, const std::string& metric) {
+  if (metric.empty()) return p.y;
+  const double* m = p.metric(metric);
+  return m != nullptr ? *m : 0.0;
+}
+
+bool want_x(const std::vector<double>& xs, double x) {
+  if (xs.empty()) return true;
+  for (double want : xs) {
+    if (std::fabs(want - x) <= 1e-9 * std::fmax(1.0, std::fabs(want))) {
+      return true;
+    }
+  }
+  return false;
+}
+
+ShapeVerdict check(const ShapeAssert& a, bool pass, std::string detail) {
+  return ShapeVerdict{pass, a.desc.empty() ? a.type : a.desc,
+                      std::move(detail)};
+}
+
+ShapeVerdict eval_one(const ShapeAssert& a, const BenchResult& res) {
+  std::string why;
+  if (a.type == "value_between") {
+    double v;
+    if (!resolve(res, a.a, &v, &why)) return check(a, false, why);
+    return check(a, v >= a.lo && v <= a.hi,
+                 ref_str(a.a) + " = " + fmt(v) + ", want [" + fmt(a.lo) +
+                     ", " + fmt(a.hi) + "]");
+  }
+  if (a.type == "ratio_gt" || a.type == "ratio_lt" ||
+      a.type == "ratio_between") {
+    double num, den;
+    if (!resolve(res, a.a, &num, &why)) return check(a, false, why);
+    if (!resolve(res, a.b, &den, &why)) return check(a, false, why);
+    if (den == 0.0) return check(a, false, ref_str(a.b) + " is zero");
+    const double ratio = num / den;
+    const std::string measured = ref_str(a.a) + " / " + ref_str(a.b) + " = " +
+                                 fmt(num) + " / " + fmt(den) + " = " +
+                                 fmt(ratio);
+    if (a.type == "ratio_gt") {
+      return check(a, ratio > a.bound,
+                   measured + ", want > " + fmt(a.bound));
+    }
+    if (a.type == "ratio_lt") {
+      return check(a, ratio < a.bound,
+                   measured + ", want < " + fmt(a.bound));
+    }
+    return check(a, ratio >= a.lo && ratio <= a.hi,
+                 measured + ", want [" + fmt(a.lo) + ", " + fmt(a.hi) + "]");
+  }
+  if (a.type == "flat_within") {
+    const ResultSeries* s = res.find(a.a.series);
+    if (s == nullptr) {
+      return check(a, false, "series '" + a.a.series + "' not in result");
+    }
+    double lo = 0.0, hi = 0.0;
+    int n = 0;
+    for (const auto& p : s->points) {
+      if (!want_x(a.xs, p.x)) continue;
+      const double v = point_value(p, a.a.metric);
+      lo = n == 0 ? v : std::min(lo, v);
+      hi = n == 0 ? v : std::max(hi, v);
+      ++n;
+    }
+    if (n < 2) {
+      return check(a, false, "series '" + a.a.series + "' has " +
+                                 std::to_string(n) + " comparable points");
+    }
+    if (lo <= 0.0) return check(a, false, "non-positive minimum " + fmt(lo));
+    const double swing = hi / lo;
+    return check(a, swing <= a.bound,
+                 a.a.series + " max/min = " + fmt(hi) + " / " + fmt(lo) +
+                     " = " + fmt(swing) + " over " + std::to_string(n) +
+                     " points, want <= " + fmt(a.bound));
+  }
+  if (a.type == "dominates") {
+    const ResultSeries* sa = res.find(a.a.series);
+    const ResultSeries* sb = res.find(a.b.series);
+    if (sa == nullptr || sb == nullptr) {
+      return check(a, false,
+                   std::string("series '") +
+                       (sa == nullptr ? a.a.series : a.b.series) +
+                       "' not in result");
+    }
+    int compared = 0;
+    for (const auto& pa : sa->points) {
+      if (!want_x(a.xs, pa.x)) continue;
+      const ResultPoint* pb = pa.label.empty() ? sb->find(pa.x)
+                                               : sb->find_label(pa.label);
+      if (pb == nullptr) continue;
+      ++compared;
+      const double va = point_value(pa, a.a.metric);
+      const double vb = point_value(*pb, a.b.metric);
+      if (va < a.factor * vb) {
+        return check(a, false,
+                     a.a.series + " = " + fmt(va) + " < " + fmt(a.factor) +
+                         " * " + a.b.series + " (" + fmt(vb) + ") at x=" +
+                         fmt(pa.x));
+      }
+    }
+    if (compared == 0) return check(a, false, "no comparable points");
+    return check(a, true,
+                 a.a.series + " >= " + fmt(a.factor) + " * " + a.b.series +
+                     " at all " + std::to_string(compared) + " shared points");
+  }
+  if (a.type == "knee_at") {
+    ShapeRef r = a.a;
+    double yb, yk, ya;
+    r.x = a.before;
+    if (!resolve(res, r, &yb, &why)) return check(a, false, why);
+    r.x = a.knee;
+    if (!resolve(res, r, &yk, &why)) return check(a, false, why);
+    r.x = a.after;
+    if (!resolve(res, r, &ya, &why)) return check(a, false, why);
+    if (yb <= 0.0 || yk <= 0.0) {
+      return check(a, false, "non-positive values before knee");
+    }
+    const double scale = yk / yb;
+    const double flat = ya / yk;
+    const bool pass = scale >= a.min_scale && flat <= a.max_flat;
+    return check(a, pass,
+                 a.a.series + ": y(" + fmt(a.knee) + ")/y(" + fmt(a.before) +
+                     ") = " + fmt(scale) + " (want >= " + fmt(a.min_scale) +
+                     "), y(" + fmt(a.after) + ")/y(" + fmt(a.knee) + ") = " +
+                     fmt(flat) + " (want <= " + fmt(a.max_flat) + ")");
+  }
+  return check(a, false, "unknown assertion type '" + a.type + "'");
+}
+
+bool parse_ref(const Json& j, ShapeRef* out, std::string* err) {
+  if (!j.is_object()) {
+    *err = "reference is not an object";
+    return false;
+  }
+  out->series = j.get_string("series");
+  if (out->series.empty()) {
+    *err = "reference missing series";
+    return false;
+  }
+  out->x = j.get_number("x");
+  out->label = j.get_string("label");
+  out->metric = j.get_string("metric");
+  return true;
+}
+
+}  // namespace
+
+std::vector<ShapeVerdict> evaluate(const ShapeSpec& spec,
+                                   const BenchResult& result) {
+  std::vector<ShapeVerdict> out;
+  out.reserve(spec.asserts.size());
+  for (const auto& a : spec.asserts) out.push_back(eval_one(a, result));
+  return out;
+}
+
+bool ShapeSpec::from_json(const Json& j, ShapeSpec* out, std::string* err) {
+  auto fail = [err](const std::string& what) {
+    if (err != nullptr) *err = what;
+    return false;
+  };
+  if (!j.is_object()) return fail("shape spec is not a JSON object");
+  ShapeSpec spec;
+  spec.schema_version = static_cast<int>(j.get_number("schema_version", -1));
+  if (spec.schema_version != kShapesSchemaVersion) {
+    return fail("unsupported shapes schema_version");
+  }
+  spec.bench = j.get_string("bench");
+  if (spec.bench.empty()) return fail("shape spec missing bench");
+  const Json* asserts = j.find("asserts");
+  if (asserts == nullptr || !asserts->is_array()) {
+    return fail("shape spec missing asserts array");
+  }
+  for (const Json& ja : asserts->items()) {
+    ShapeAssert a;
+    a.type = ja.get_string("type");
+    if (a.type.empty()) return fail("assertion missing type");
+    a.desc = ja.get_string("desc");
+    std::string rerr;
+    if (const Json* ra = ja.find("a"); ra != nullptr) {
+      if (!parse_ref(*ra, &a.a, &rerr)) return fail(rerr);
+    } else if (a.type != "unknown") {
+      return fail("assertion '" + a.type + "' missing reference a");
+    }
+    if (const Json* rb = ja.find("b"); rb != nullptr) {
+      if (!parse_ref(*rb, &a.b, &rerr)) return fail(rerr);
+    }
+    a.bound = ja.get_number("bound");
+    a.lo = ja.get_number("lo");
+    a.hi = ja.get_number("hi");
+    a.factor = ja.get_number("factor", 1.0);
+    a.before = ja.get_number("before");
+    a.knee = ja.get_number("knee");
+    a.after = ja.get_number("after");
+    a.min_scale = ja.get_number("min_scale", 1.0);
+    a.max_flat = ja.get_number("max_flat", 1.0);
+    if (const Json* xs = ja.find("xs"); xs != nullptr && xs->is_array()) {
+      for (const Json& x : xs->items()) {
+        if (x.is_number()) a.xs.push_back(x.as_number());
+      }
+    }
+    spec.asserts.push_back(std::move(a));
+  }
+  *out = std::move(spec);
+  return true;
+}
+
+bool ShapeSpec::load(const std::string& path, ShapeSpec* out,
+                     std::string* err) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    if (err != nullptr) *err = "cannot open '" + path + "'";
+    return false;
+  }
+  std::string text;
+  char buf[1 << 14];
+  std::size_t got;
+  while ((got = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, got);
+  std::fclose(f);
+  Json j;
+  std::string perr;
+  if (!Json::parse(text, &j, &perr)) {
+    if (err != nullptr) *err = path + ": " + perr;
+    return false;
+  }
+  std::string serr;
+  if (!from_json(j, out, &serr)) {
+    if (err != nullptr) *err = path + ": " + serr;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace emusim::report

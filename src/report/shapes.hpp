@@ -1,0 +1,72 @@
+// Declarative shape assertions over bench results — the paper's claims
+// (saturation knees, locality flatness, layout orderings) expressed as data
+// instead of C++, so CI can gate fresh runs against them.  This mirrors
+// tests/test_validation.cpp; the checked-in expectations for Figs 4-11 live
+// in tools/shapes/*.json and are evaluated by tools/shapecheck.
+//
+// Vocabulary (see docs/RESULTS.md for the JSON spelling):
+//   value_between — lo <= value(a) <= hi
+//   ratio_gt      — value(a) / value(b) >  bound
+//   ratio_lt      — value(a) / value(b) <  bound
+//   ratio_between — lo <= value(a) / value(b) <= hi
+//   flat_within   — max/min over a series' points (optionally restricted to
+//                   xs) <= bound: "flat to within X"
+//   dominates     — series a >= factor * series b at every compared x:
+//                   "series A dominates B"
+//   knee_at       — y(knee)/y(before) >= min_scale (still scaling into the
+//                   knee) AND y(after)/y(knee) <= max_flat (flat past it)
+//
+// A reference selects series + point (by x, or by label for categorical
+// sweeps) + metric ("" = the primary y; otherwise a named extra).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "report/results.hpp"
+
+namespace emusim::report {
+
+inline constexpr int kShapesSchemaVersion = 1;
+
+struct ShapeRef {
+  std::string series;
+  double x = 0.0;
+  std::string label;   ///< categorical lookup when nonempty (wins over x)
+  std::string metric;  ///< "" = primary y
+};
+
+struct ShapeAssert {
+  std::string type;
+  std::string desc;
+  ShapeRef a, b;
+  double bound = 0.0;
+  double lo = 0.0, hi = 0.0;
+  double factor = 1.0;
+  double before = 0.0, knee = 0.0, after = 0.0;
+  double min_scale = 1.0, max_flat = 1.0;
+  std::vector<double> xs;  ///< flat_within / dominates: restrict compared xs
+};
+
+struct ShapeSpec {
+  int schema_version = kShapesSchemaVersion;
+  std::string bench;  ///< which BenchResult these assertions apply to
+  std::vector<ShapeAssert> asserts;
+
+  static bool from_json(const Json& j, ShapeSpec* out, std::string* err);
+  static bool load(const std::string& path, ShapeSpec* out, std::string* err);
+};
+
+struct ShapeVerdict {
+  bool pass = false;
+  std::string desc;    ///< the assertion's own description
+  std::string detail;  ///< measured values / failure reason
+};
+
+/// Evaluate every assertion in `spec` against `result`.  Missing series,
+/// points, or metrics yield failing verdicts (never silent skips) — a shape
+/// that cannot be checked is a broken gate, not a passing one.
+std::vector<ShapeVerdict> evaluate(const ShapeSpec& spec,
+                                   const BenchResult& result);
+
+}  // namespace emusim::report

@@ -1,0 +1,124 @@
+// Unit tests for the shared bench flag parser — especially the rejection
+// paths (unknown flags, flags missing their argument) that used to be
+// silently ignored.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+
+namespace {
+
+using emusim::bench::Options;
+using emusim::bench::parse_options;
+
+struct Argv {
+  explicit Argv(std::vector<std::string> args) : storage(std::move(args)) {
+    ptrs.push_back(const_cast<char*>("bench"));
+    for (auto& s : storage) ptrs.push_back(s.data());
+  }
+  int argc() const { return static_cast<int>(ptrs.size()); }
+  char** argv() { return ptrs.data(); }
+  std::vector<std::string> storage;
+  std::vector<char*> ptrs;
+};
+
+TEST(ParseOptions, DefaultsWithNoFlags) {
+  Argv a({});
+  Options opt;
+  std::string err;
+  ASSERT_TRUE(parse_options(a.argc(), a.argv(), &opt, &err)) << err;
+  EXPECT_FALSE(opt.quick);
+  EXPECT_TRUE(opt.csv_path.empty());
+  EXPECT_TRUE(opt.json_path.empty());
+  EXPECT_EQ(opt.reps, 1);
+  EXPECT_FALSE(opt.help);
+}
+
+TEST(ParseOptions, ParsesAllCommonFlags) {
+  Argv a({"--quick", "--csv", "out.csv", "--json", "out.json", "--filter",
+          "spawn", "--reps", "3"});
+  Options opt;
+  std::string err;
+  ASSERT_TRUE(parse_options(a.argc(), a.argv(), &opt, &err)) << err;
+  EXPECT_TRUE(opt.quick);
+  EXPECT_EQ(opt.csv_path, "out.csv");
+  EXPECT_EQ(opt.json_path, "out.json");
+  EXPECT_EQ(opt.filter, "spawn");
+  EXPECT_EQ(opt.reps, 3);
+}
+
+TEST(ParseOptions, RejectsUnknownFlag) {
+  Argv a({"--frobnicate"});
+  Options opt;
+  std::string err;
+  EXPECT_FALSE(parse_options(a.argc(), a.argv(), &opt, &err));
+  EXPECT_NE(err.find("--frobnicate"), std::string::npos);
+}
+
+TEST(ParseOptions, RejectsTrailingFlagMissingArgument) {
+  for (const char* flag : {"--csv", "--json", "--filter", "--reps"}) {
+    Argv a({flag});
+    Options opt;
+    std::string err;
+    EXPECT_FALSE(parse_options(a.argc(), a.argv(), &opt, &err)) << flag;
+    EXPECT_NE(err.find(flag), std::string::npos) << err;
+  }
+}
+
+TEST(ParseOptions, RejectsBadRepsValues) {
+  for (const char* reps : {"0", "-2", "abc", "3x"}) {
+    Argv a({"--reps", reps});
+    Options opt;
+    std::string err;
+    EXPECT_FALSE(parse_options(a.argc(), a.argv(), &opt, &err)) << reps;
+  }
+}
+
+TEST(ParseOptions, RejectsBarePositionalArgument) {
+  Argv a({"stray"});
+  Options opt;
+  std::string err;
+  EXPECT_FALSE(parse_options(a.argc(), a.argv(), &opt, &err));
+}
+
+TEST(ParseOptions, HelpFlagSetsHelp) {
+  Argv a({"--help"});
+  Options opt;
+  std::string err;
+  ASSERT_TRUE(parse_options(a.argc(), a.argv(), &opt, &err)) << err;
+  EXPECT_TRUE(opt.help);
+}
+
+TEST(ParseOptions, PassthroughPrefixCollectsForeignFlags) {
+  Argv a({"--quick", "--benchmark_filter=BM_Engine",
+          "--benchmark_min_time=0.5"});
+  Options opt;
+  std::string err;
+  ASSERT_TRUE(parse_options(a.argc(), a.argv(), &opt, &err, "--benchmark_"))
+      << err;
+  EXPECT_TRUE(opt.quick);
+  ASSERT_EQ(opt.passthrough.size(), 2u);
+  EXPECT_EQ(opt.passthrough[0], "--benchmark_filter=BM_Engine");
+  EXPECT_EQ(opt.passthrough[1], "--benchmark_min_time=0.5");
+}
+
+TEST(ParseOptions, WithoutPrefixForeignFlagsAreErrors) {
+  Argv a({"--benchmark_filter=BM_Engine"});
+  Options opt;
+  std::string err;
+  EXPECT_FALSE(parse_options(a.argc(), a.argv(), &opt, &err));
+}
+
+TEST(Usage, MentionsEveryFlag) {
+  const std::string u = emusim::bench::usage("some_bench");
+  EXPECT_NE(u.find("usage:"), std::string::npos);
+  EXPECT_NE(u.find("some_bench"), std::string::npos);
+  for (const char* flag :
+       {"--csv", "--json", "--quick", "--filter", "--reps", "--help"}) {
+    EXPECT_NE(u.find(flag), std::string::npos) << flag;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,287 @@
+// Unit tests for the result schema round-trip, the shape-assertion verdict
+// logic, and the benchdiff comparison — the pieces CI's perf gate stands on.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "report/diff.hpp"
+#include "report/json.hpp"
+#include "report/results.hpp"
+#include "report/shapes.hpp"
+
+namespace {
+
+using emusim::report::BenchResult;
+using emusim::report::DiffOptions;
+using emusim::report::Json;
+using emusim::report::ResultPoint;
+using emusim::report::ResultSeries;
+using emusim::report::ShapeSpec;
+
+BenchResult sample_result() {
+  BenchResult r;
+  r.bench = "sample_bench";
+  r.x_axis = "threads";
+  r.y_axis = "mb_per_sec";
+  r.quick = true;
+  r.config = {{"machine", "sample"}, {"n", "1024"}};
+  ResultSeries fast;
+  fast.name = "fast";
+  fast.points = {{1, 100, "", {{"util_pct", 50}}},
+                 {2, 190, "", {{"util_pct", 95}}},
+                 {4, 200, "", {{"util_pct", 100}}}};
+  ResultSeries slow;
+  slow.name = "slow";
+  slow.points = {{1, 50, "", {}}, {2, 60, "", {}}, {4, 61, "", {}}};
+  ResultSeries graphs;
+  graphs.name = "graphs";
+  graphs.points = {{0, 10, "grid", {}}, {1, 30, "rmat", {}}};
+  r.series = {fast, slow, graphs};
+  r.fingerprint = emusim::report::result_fingerprint(r);
+  return r;
+}
+
+ShapeSpec parse_spec(const std::string& text) {
+  Json j;
+  std::string err;
+  EXPECT_TRUE(Json::parse(text, &j, &err)) << err;
+  ShapeSpec spec;
+  EXPECT_TRUE(ShapeSpec::from_json(j, &spec, &err)) << err;
+  return spec;
+}
+
+// --- result schema ---------------------------------------------------------
+
+TEST(Results, JsonRoundTripPreservesEverything) {
+  const BenchResult r = sample_result();
+  BenchResult back;
+  std::string err;
+  ASSERT_TRUE(BenchResult::from_json(r.to_json(), &back, &err)) << err;
+  EXPECT_EQ(back.bench, r.bench);
+  EXPECT_EQ(back.x_axis, "threads");
+  EXPECT_EQ(back.y_axis, "mb_per_sec");
+  EXPECT_TRUE(back.quick);
+  EXPECT_EQ(back.fingerprint, r.fingerprint);
+  ASSERT_EQ(back.series.size(), 3u);
+  ASSERT_EQ(back.series[0].points.size(), 3u);
+  EXPECT_DOUBLE_EQ(back.series[0].points[1].y, 190.0);
+  const double* util = back.series[0].points[1].metric("util_pct");
+  ASSERT_NE(util, nullptr);
+  EXPECT_DOUBLE_EQ(*util, 95.0);
+  EXPECT_EQ(back.series[2].points[1].label, "rmat");
+  EXPECT_EQ(back.config, r.config);
+}
+
+TEST(Results, FromJsonRejectsWrongSchemaVersion) {
+  Json j = sample_result().to_json();
+  j.set("schema_version", Json::number(999));
+  BenchResult back;
+  std::string err;
+  EXPECT_FALSE(BenchResult::from_json(j, &back, &err));
+  EXPECT_NE(err.find("schema"), std::string::npos);
+}
+
+TEST(Results, FingerprintSensitiveToConfigAndQuick) {
+  BenchResult a = sample_result();
+  BenchResult b = a;
+  EXPECT_EQ(emusim::report::result_fingerprint(a),
+            emusim::report::result_fingerprint(b));
+  b.config.emplace_back("extra", "1");
+  EXPECT_NE(emusim::report::result_fingerprint(a),
+            emusim::report::result_fingerprint(b));
+  BenchResult c = a;
+  c.quick = false;
+  EXPECT_NE(emusim::report::result_fingerprint(a),
+            emusim::report::result_fingerprint(c));
+}
+
+TEST(Results, FindByXAndLabel) {
+  const BenchResult r = sample_result();
+  const ResultSeries* fast = r.find("fast");
+  ASSERT_NE(fast, nullptr);
+  const ResultPoint* p = fast->find(2);
+  ASSERT_NE(p, nullptr);
+  EXPECT_DOUBLE_EQ(p->y, 190.0);
+  EXPECT_EQ(fast->find(3), nullptr);
+  const ResultSeries* graphs = r.find("graphs");
+  ASSERT_NE(graphs, nullptr);
+  const ResultPoint* rmat = graphs->find_label("rmat");
+  ASSERT_NE(rmat, nullptr);
+  EXPECT_DOUBLE_EQ(rmat->y, 30.0);
+  EXPECT_EQ(r.find("nope"), nullptr);
+}
+
+// --- shape assertions ------------------------------------------------------
+
+TEST(Shapes, AllVocabularyTypesPassOnSampleData) {
+  const ShapeSpec spec = parse_spec(R"({
+    "schema_version": 1, "bench": "sample_bench", "asserts": [
+      {"type": "value_between", "a": {"series": "fast", "x": 4,
+       "metric": "util_pct"}, "lo": 99, "hi": 101},
+      {"type": "ratio_gt", "a": {"series": "fast", "x": 1},
+       "b": {"series": "slow", "x": 1}, "bound": 1.9},
+      {"type": "ratio_lt", "a": {"series": "slow", "x": 1},
+       "b": {"series": "fast", "x": 1}, "bound": 0.6},
+      {"type": "ratio_between", "a": {"series": "graphs", "label": "rmat"},
+       "b": {"series": "graphs", "label": "grid"}, "lo": 2.9, "hi": 3.1},
+      {"type": "flat_within", "a": {"series": "slow"}, "xs": [2, 4],
+       "bound": 1.05},
+      {"type": "dominates", "a": {"series": "fast"}, "b": {"series": "slow"},
+       "factor": 2.0},
+      {"type": "knee_at", "a": {"series": "fast"}, "before": 1, "knee": 2,
+       "after": 4, "min_scale": 1.5, "max_flat": 1.2}
+    ]})");
+  const auto verdicts = emusim::report::evaluate(spec, sample_result());
+  ASSERT_EQ(verdicts.size(), 7u);
+  for (const auto& v : verdicts) {
+    EXPECT_TRUE(v.pass) << v.desc << ": " << v.detail;
+  }
+}
+
+TEST(Shapes, FailingAssertionsReportDetails) {
+  const ShapeSpec spec = parse_spec(R"({
+    "schema_version": 1, "bench": "sample_bench", "asserts": [
+      {"type": "dominates", "a": {"series": "slow"}, "b": {"series": "fast"}},
+      {"type": "flat_within", "a": {"series": "fast"}, "bound": 1.1},
+      {"type": "knee_at", "a": {"series": "fast"}, "before": 1, "knee": 2,
+       "after": 4, "min_scale": 3.0, "max_flat": 1.2}
+    ]})");
+  const auto verdicts = emusim::report::evaluate(spec, sample_result());
+  ASSERT_EQ(verdicts.size(), 3u);
+  for (const auto& v : verdicts) {
+    EXPECT_FALSE(v.pass) << v.desc;
+    EXPECT_FALSE(v.detail.empty());
+  }
+}
+
+TEST(Shapes, MissingDataFailsInsteadOfSkipping) {
+  const ShapeSpec spec = parse_spec(R"({
+    "schema_version": 1, "bench": "sample_bench", "asserts": [
+      {"type": "value_between", "a": {"series": "ghost", "x": 1},
+       "lo": 0, "hi": 1},
+      {"type": "value_between", "a": {"series": "fast", "x": 99},
+       "lo": 0, "hi": 1},
+      {"type": "value_between", "a": {"series": "fast", "x": 1,
+       "metric": "no_such_metric"}, "lo": 0, "hi": 1},
+      {"type": "frobnicate", "a": {"series": "fast", "x": 1}}
+    ]})");
+  const auto verdicts = emusim::report::evaluate(spec, sample_result());
+  ASSERT_EQ(verdicts.size(), 4u);
+  for (const auto& v : verdicts) {
+    EXPECT_FALSE(v.pass) << v.desc << ": " << v.detail;
+  }
+}
+
+TEST(Shapes, SpecParserRejectsBadSpecs) {
+  Json j;
+  std::string err;
+  ShapeSpec spec;
+  ASSERT_TRUE(Json::parse(
+      R"({"schema_version": 2, "bench": "b", "asserts": []})", &j, &err));
+  EXPECT_FALSE(ShapeSpec::from_json(j, &spec, &err));
+  ASSERT_TRUE(Json::parse(
+      R"({"schema_version": 1, "asserts": []})", &j, &err));
+  EXPECT_FALSE(ShapeSpec::from_json(j, &spec, &err));
+  ASSERT_TRUE(Json::parse(
+      R"({"schema_version": 1, "bench": "b",
+          "asserts": [{"type": "ratio_gt"}]})", &j, &err));
+  EXPECT_FALSE(ShapeSpec::from_json(j, &spec, &err));
+}
+
+// --- benchdiff -------------------------------------------------------------
+
+TEST(Diff, IdenticalResultsAreClean) {
+  const std::vector<BenchResult> base = {sample_result()};
+  const auto rep = emusim::report::diff_results(base, base, DiffOptions{});
+  EXPECT_TRUE(rep.ok(DiffOptions{}));
+  EXPECT_EQ(rep.regressions, 0);
+  EXPECT_TRUE(rep.problems.empty());
+  EXPECT_EQ(rep.entries.size(), 8u);
+}
+
+TEST(Diff, FlagsRegressionBeyondTolerance) {
+  const std::vector<BenchResult> base = {sample_result()};
+  std::vector<BenchResult> cand = base;
+  cand[0].series[0].points[2].y *= 0.90;  // -10% on fast[x=4]
+  cand[0].series[1].points[0].y *= 0.96;  // -4%: within tolerance
+  DiffOptions opt;
+  opt.max_regress_pct = 5.0;
+  const auto rep = emusim::report::diff_results(base, cand, opt);
+  EXPECT_FALSE(rep.ok(opt));
+  EXPECT_EQ(rep.regressions, 1);
+  int flagged = 0;
+  for (const auto& e : rep.entries) {
+    if (e.regression) {
+      ++flagged;
+      EXPECT_EQ(e.series, "fast");
+      EXPECT_DOUBLE_EQ(e.x, 4.0);
+      EXPECT_NEAR(e.delta_pct, -10.0, 1e-9);
+    }
+  }
+  EXPECT_EQ(flagged, 1);
+}
+
+TEST(Diff, ImprovementsNeverFail) {
+  const std::vector<BenchResult> base = {sample_result()};
+  std::vector<BenchResult> cand = base;
+  for (auto& s : cand[0].series) {
+    for (auto& p : s.points) p.y *= 2.0;
+  }
+  const auto rep = emusim::report::diff_results(base, cand, DiffOptions{});
+  EXPECT_TRUE(rep.ok(DiffOptions{}));
+  EXPECT_EQ(rep.regressions, 0);
+  EXPECT_GT(rep.improvements, 0);
+}
+
+TEST(Diff, MissingCoverageIsAProblem) {
+  const std::vector<BenchResult> base = {sample_result()};
+  std::vector<BenchResult> cand = base;
+  cand[0].series[0].points.pop_back();          // drop fast[x=4]
+  cand[0].series.erase(cand[0].series.begin() + 1);  // drop slow entirely
+  DiffOptions opt;
+  const auto rep = emusim::report::diff_results(base, cand, opt);
+  EXPECT_FALSE(rep.ok(opt));
+  EXPECT_GE(rep.problems.size(), 2u);
+  opt.require_coverage = false;
+  EXPECT_TRUE(rep.ok(opt));
+}
+
+TEST(Diff, MissingBenchIsAProblem) {
+  const std::vector<BenchResult> base = {sample_result()};
+  const auto rep =
+      emusim::report::diff_results(base, {}, DiffOptions{});
+  EXPECT_FALSE(rep.ok(DiffOptions{}));
+  ASSERT_EQ(rep.problems.size(), 1u);
+  EXPECT_NE(rep.problems[0].find("sample_bench"), std::string::npos);
+}
+
+TEST(Diff, FingerprintMismatchIsAProblemNotAComparison) {
+  const std::vector<BenchResult> base = {sample_result()};
+  std::vector<BenchResult> cand = base;
+  cand[0].config.emplace_back("n", "2048");
+  cand[0].fingerprint = emusim::report::result_fingerprint(cand[0]);
+  const auto rep = emusim::report::diff_results(base, cand, DiffOptions{});
+  EXPECT_FALSE(rep.ok(DiffOptions{}));
+  ASSERT_FALSE(rep.problems.empty());
+  EXPECT_NE(rep.problems[0].find("fingerprint"), std::string::npos);
+  EXPECT_TRUE(rep.entries.empty());
+}
+
+TEST(Diff, CandidateOnlyDataIsIgnored) {
+  const std::vector<BenchResult> base = {sample_result()};
+  std::vector<BenchResult> cand = base;
+  BenchResult extra = sample_result();
+  extra.bench = "brand_new_bench";
+  extra.fingerprint = emusim::report::result_fingerprint(extra);
+  cand.push_back(extra);
+  ResultSeries more;
+  more.name = "new_series";
+  more.points = {{1, 1, "", {}}};
+  cand[0].series.push_back(more);
+  const auto rep = emusim::report::diff_results(base, cand, DiffOptions{});
+  EXPECT_TRUE(rep.ok(DiffOptions{}));
+  EXPECT_EQ(rep.entries.size(), 8u);
+}
+
+}  // namespace
