@@ -9,6 +9,7 @@
 
 #include "emu/config.hpp"
 #include "report/csv.hpp"
+#include "report/observe.hpp"
 #include "report/table.hpp"
 #include "xeon/config.hpp"
 
@@ -35,13 +36,22 @@ std::string format_x(const report::ResultPoint& p) {
 std::string usage(const std::string& bench_name) {
   return "usage: " + bench_name +
          " [--csv <path>] [--json <path>] [--quick] [--filter <substr>]"
-         " [--reps <n>] [--help]\n";
+         " [--reps <n>] [--trace <path>] [--trace-cap <records>]"
+         " [--counters] [--help]\n"
+         "value flags also accept --flag=value\n";
 }
 
 bool parse_options(int argc, char** argv, Options* out, std::string* err,
                    const std::string& passthrough_prefix) {
   Options o;
+  // Current flag's inline "--flag=value" payload, when present.
+  bool has_inline = false;
+  std::string inline_val;
   auto take_value = [&](int& i, const char* flag, std::string* dst) {
+    if (has_inline) {
+      *dst = inline_val;
+      return true;
+    }
     if (i + 1 >= argc) {
       *err = std::string(flag) + " requires an argument";
       return false;
@@ -49,8 +59,37 @@ bool parse_options(int argc, char** argv, Options* out, std::string* err,
     *dst = argv[++i];
     return true;
   };
+  auto take_int = [&](int& i, const char* flag, long lo, long hi, int* dst) {
+    std::string v;
+    if (!take_value(i, flag, &v)) return false;
+    char* end = nullptr;
+    const long n = std::strtol(v.c_str(), &end, 10);
+    if (end == v.c_str() || *end != '\0' || n < lo || n > hi) {
+      *err = std::string(flag) + " wants an integer in [" +
+             std::to_string(lo) + ", " + std::to_string(hi) + "], got '" + v +
+             "'";
+      return false;
+    }
+    *dst = static_cast<int>(n);
+    return true;
+  };
   for (int i = 1; i < argc; ++i) {
-    const char* a = argv[i];
+    std::string arg = argv[i];
+    // Passthrough flags (e.g. --benchmark_filter=x) keep their '=' intact.
+    if (!passthrough_prefix.empty() &&
+        arg.compare(0, passthrough_prefix.size(), passthrough_prefix) == 0) {
+      o.passthrough.push_back(std::move(arg));
+      continue;
+    }
+    has_inline = false;
+    if (arg.size() > 2 && arg[0] == '-' && arg[1] == '-') {
+      if (const auto eq = arg.find('='); eq != std::string::npos) {
+        inline_val = arg.substr(eq + 1);
+        arg.erase(eq);
+        has_inline = true;
+      }
+    }
+    const char* a = arg.c_str();
     if (std::strcmp(a, "--csv") == 0) {
       if (!take_value(i, "--csv", &o.csv_path)) return false;
     } else if (std::strcmp(a, "--json") == 0) {
@@ -58,25 +97,24 @@ bool parse_options(int argc, char** argv, Options* out, std::string* err,
     } else if (std::strcmp(a, "--filter") == 0) {
       if (!take_value(i, "--filter", &o.filter)) return false;
     } else if (std::strcmp(a, "--reps") == 0) {
-      std::string v;
-      if (!take_value(i, "--reps", &v)) return false;
-      char* end = nullptr;
-      const long n = std::strtol(v.c_str(), &end, 10);
-      if (end == v.c_str() || *end != '\0' || n < 1 || n > 1000000) {
-        *err = "--reps wants a positive integer, got '" + v + "'";
+      if (!take_int(i, "--reps", 1, 1000000, &o.reps)) return false;
+    } else if (std::strcmp(a, "--trace") == 0) {
+      if (!take_value(i, "--trace", &o.trace_path)) return false;
+      if (o.trace_path.empty()) {
+        *err = "--trace wants a non-empty path";
         return false;
       }
-      o.reps = static_cast<int>(n);
-    } else if (std::strcmp(a, "--quick") == 0) {
+    } else if (std::strcmp(a, "--trace-cap") == 0) {
+      if (!take_int(i, "--trace-cap", 1, 1 << 30, &o.trace_cap)) return false;
+    } else if (std::strcmp(a, "--counters") == 0 && !has_inline) {
+      o.counters = true;
+    } else if (std::strcmp(a, "--quick") == 0 && !has_inline) {
       o.quick = true;
-    } else if (std::strcmp(a, "--help") == 0 || std::strcmp(a, "-h") == 0) {
+    } else if ((std::strcmp(a, "--help") == 0 || std::strcmp(a, "-h") == 0) &&
+               !has_inline) {
       o.help = true;
-    } else if (!passthrough_prefix.empty() &&
-               std::strncmp(a, passthrough_prefix.c_str(),
-                            passthrough_prefix.size()) == 0) {
-      o.passthrough.emplace_back(a);
     } else {
-      *err = std::string("unknown flag '") + a + "'";
+      *err = std::string("unknown flag '") + argv[i] + "'";
       return false;
     }
   }
@@ -102,7 +140,23 @@ Harness::Harness(std::string bench_name, int argc, char** argv,
   result_.reps = opt_.reps;
   start_wall_ = wall_now();
   tables_.push_back(TableGroup{name_, 1, {}});
+  if (!opt_.trace_path.empty() || opt_.counters) {
+    report::BenchObserver::Options obs;
+    obs.counters = opt_.counters;
+    obs.trace_path = opt_.trace_path;
+    obs.trace_capacity = static_cast<std::size_t>(opt_.trace_cap);
+    observer_ = std::make_unique<report::BenchObserver>(obs);
+    observe_counters_ = report::Json::array();
+    if (opt_.counters && opt_.json_path.empty()) {
+      std::fprintf(stderr,
+                   "%s: note: --counters deltas are emitted into the --json "
+                   "result; pass --json <path> to keep them\n",
+                   name_.c_str());
+    }
+  }
 }
+
+Harness::~Harness() = default;
 
 void Harness::axes(std::string x, std::string y) {
   result_.x_axis = std::move(x);
@@ -168,6 +222,11 @@ void Harness::add_labeled(const std::string& series, const std::string& label,
   for (const auto& [k, v] : extra) {
     if (k == "sim_ms") result_.sim_seconds += v / 1e3;
   }
+  if (observer_ != nullptr) {
+    absorb_pending_counters(
+        series, label.empty() ? format_x(report::ResultPoint{x, y, "", {}})
+                              : label);
+  }
   report::ResultSeries& s = series_slot(series);
   const std::size_t si =
       static_cast<std::size_t>(&s - result_.series.data());
@@ -201,6 +260,50 @@ void Harness::add_labeled(const std::string& series, const std::string& label,
 void Harness::fail(const std::string& msg) {
   std::fprintf(stderr, "FAIL: %s\n", msg.c_str());
   std::exit(1);
+}
+
+void Harness::absorb_pending_counters(const std::string& series,
+                                      const std::string& phase_key) {
+  if (observer_ == nullptr || !observer_->counters()) return;
+  auto pending = observer_->take_pending_counters();
+  const std::string base = series + "/" + phase_key;
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    // Several machine runs can back one point (--reps, multi-run kernels);
+    // keep them apart so warmup reps stay distinguishable from measured.
+    std::string phase = base;
+    if (pending.size() > 1) phase += "#run" + std::to_string(i);
+    pending[i].set("phase", report::Json::string(phase));
+    observe_counters_.push_back(std::move(pending[i]));
+  }
+}
+
+bool Harness::finish_observe() {
+  if (observer_ == nullptr) return true;
+  // Runs after the last add() (teardown probes etc.) still get recorded.
+  absorb_pending_counters("unattributed", "end");
+  bool ok = true;
+  report::Json obs = report::Json::object();
+  if (observer_->counters()) obs.set("counters", std::move(observe_counters_));
+  if (observer_->tracing()) {
+    std::string err;
+    if (observer_->write_trace(&err)) {
+      const report::TraceAccounting acct = observer_->last_trace_accounting();
+      report::Json jt = report::to_json(acct);
+      jt.set("file", report::Json::string(opt_.trace_path));
+      obs.set("trace", std::move(jt));
+      std::printf("trace: %zu records -> %s%s\n", acct.records,
+                  opt_.trace_path.c_str(),
+                  acct.truncated
+                      ? " (TRUNCATED: oldest events overwritten; summaries "
+                        "are lower bounds)"
+                      : "");
+    } else {
+      std::fprintf(stderr, "%s: --trace: %s\n", name_.c_str(), err.c_str());
+      ok = false;
+    }
+  }
+  result_.observe = std::move(obs);
+  return ok;
 }
 
 void Harness::print_tables() const {
@@ -282,9 +385,10 @@ bool Harness::write_csv() const {
 
 int Harness::done() {
   result_.wall_seconds = wall_now() - start_wall_;
+  bool ok = finish_observe();
   result_.fingerprint = report::result_fingerprint(result_);
   print_tables();
-  bool ok = write_csv();
+  ok = write_csv() && ok;
   if (!opt_.json_path.empty()) ok = result_.save(opt_.json_path) && ok;
   return ok ? 0 : 1;
 }

@@ -2,21 +2,31 @@
 // the same flags, registers its series with the harness, and gets table
 // printing, tidy CSV, and schema-versioned JSON (docs/RESULTS.md) for free:
 //
-//   --csv <path>    tidy CSV (bench, series, x, y, extra metrics)
-//   --json <path>   machine-readable result (consumed by tools/shapecheck
-//                   and tools/benchdiff)
-//   --quick         smaller problem sizes / fewer sweep points (CI mode)
-//   --filter <str>  run only series whose name contains <str>
-//   --reps <n>      repeat each kernel invocation n times (the simulator is
-//                   deterministic, so this exercises wall-clock stability;
-//                   duplicate points are averaged)
-//   --help          usage
+//   --csv <path>     tidy CSV (bench, series, x, y, extra metrics)
+//   --json <path>    machine-readable result (consumed by tools/shapecheck
+//                    and tools/benchdiff)
+//   --quick          smaller problem sizes / fewer sweep points (CI mode)
+//   --filter <str>   run only series whose name contains <str>
+//   --reps <n>       repeat each kernel invocation n times (the simulator is
+//                    deterministic, so this exercises wall-clock stability;
+//                    duplicate points are averaged)
+//   --trace <path>   export the newest simulated run as Chrome/Perfetto
+//                    trace-event JSON (load at https://ui.perfetto.dev or
+//                    summarize with tools/traceview)
+//   --trace-cap <n>  trace ring-buffer capacity in records (default 65536;
+//                    long runs keep the newest n events)
+//   --counters       embed per-phase counter deltas (per-nodelet traffic,
+//                    migration matrix, row-hit rate) in the result JSON
+//   --help           usage
 //
-// Unknown flags and flags missing their argument are usage errors: the
-// harness prints usage and the binary exits with status 2.
+// Value flags accept both "--flag value" and "--flag=value".  Unknown flags
+// and flags missing their argument are usage errors: the harness prints
+// usage and the binary exits with status 2.  See docs/OBSERVABILITY.md for
+// the --trace/--counters output formats and truncation guarantees.
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -30,6 +40,9 @@ struct SystemConfig;
 namespace emusim::xeon {
 struct SystemConfig;
 }
+namespace emusim::report {
+class BenchObserver;
+}
 
 namespace emusim::bench {
 
@@ -39,6 +52,9 @@ struct Options {
   bool quick = false;
   std::string filter;
   int reps = 1;
+  std::string trace_path;
+  int trace_cap = 1 << 16;
+  bool counters = false;
   bool help = false;
   /// Flags matching the passthrough prefix (e.g. "--benchmark_" for the
   /// google-benchmark binary), preserved verbatim for the wrapped tool.
@@ -61,6 +77,7 @@ class Harness {
   /// on a flag error; exits(0) after printing usage for --help.
   Harness(std::string bench_name, int argc, char** argv,
           const std::string& passthrough_prefix = "");
+  ~Harness();
 
   const Options& opt() const { return opt_; }
   bool quick() const { return opt_.quick; }
@@ -112,6 +129,11 @@ class Harness {
   report::ResultSeries& series_slot(const std::string& name);
   void print_tables() const;
   bool write_csv() const;
+  /// Label counter deltas from runs since the last add() with this point's
+  /// phase name and collect them for the result's observe blob.
+  void absorb_pending_counters(const std::string& series,
+                               const std::string& phase_key);
+  bool finish_observe();
 
   std::string name_;
   Options opt_;
@@ -121,6 +143,9 @@ class Harness {
   /// Per-point merge counts, aligned with result_.series[i].points.
   std::vector<std::vector<int>> merge_counts_;
   double start_wall_ = 0.0;
+  /// Installed when --trace/--counters is active (docs/OBSERVABILITY.md).
+  std::unique_ptr<report::BenchObserver> observer_;
+  report::Json observe_counters_;  ///< array of labeled per-phase deltas
 };
 
 /// Record a machine config into the harness fingerprint (prefix

@@ -1,7 +1,9 @@
 // Per-nodelet performance-counter report, in the spirit of the vendor
 // simulator's output (paper §III-B: "the simulator counts key performance
 // events such as the number of thread spawns, migrations, and memory
-// operations per nodelet").  Renders machine statistics after a run.
+// operations per nodelet").  Renders machine statistics after a run, and
+// provides phase-scoped snapshots/deltas so benches can attribute traffic
+// to named phases (warmup vs. measured) instead of one whole-run total.
 #pragma once
 
 #include <string>
@@ -10,7 +12,10 @@
 
 namespace emusim::emu {
 
-/// Snapshot of one nodelet's counters plus derived channel metrics.
+/// Snapshot of one nodelet's counters plus derived channel metrics.  The
+/// raw channel counts (row_hits/row_misses/bus_busy) are carried alongside
+/// the derived rates so two snapshots can be diffed and the rates
+/// recomputed over just the delta window.
 struct NodeletCounters {
   int nodelet = 0;
   std::uint64_t reads = 0;
@@ -21,8 +26,21 @@ struct NodeletCounters {
   std::uint64_t atomics_in = 0;
   std::uint64_t thread_arrivals = 0;
   int max_resident = 0;
+  std::uint64_t row_hits = 0;
+  std::uint64_t row_misses = 0;
+  Time bus_busy = 0;                 ///< cumulative channel busy time
   double row_hit_rate = 0.0;
   double channel_utilization = 0.0;  ///< bus busy / elapsed
+};
+
+/// Copyable subset of MachineStats (the histogram stays behind).
+struct MachineCounters {
+  std::uint64_t migrations = 0;
+  std::uint64_t internode_migrations = 0;
+  std::uint64_t spawns = 0;
+  std::uint64_t remote_spawns = 0;
+  std::uint64_t inline_spawns = 0;
+  std::uint64_t threads_completed = 0;
 };
 
 /// Collect counters for every nodelet; `elapsed` scales utilizations.
@@ -30,5 +48,38 @@ std::vector<NodeletCounters> collect_counters(Machine& m, Time elapsed);
 
 /// Machine-wide summary plus the per-nodelet table, as printable text.
 std::string counters_report(Machine& m, Time elapsed);
+
+/// Everything observable about a machine at one instant: simulated time,
+/// machine-wide and per-nodelet counters, the trace's migration matrix so
+/// far, and whether the trace behind that matrix lost records.
+struct CounterSnapshot {
+  std::string phase;  ///< name of the phase *ending* at this snapshot
+  Time t = 0;
+  MachineCounters machine;
+  std::vector<NodeletCounters> nodelets;
+  std::vector<std::vector<std::uint64_t>> migration_matrix;
+  bool trace_truncated = false;  ///< matrix is a lower bound when true
+};
+
+/// Snapshot `m` now (engine time).  The migration matrix comes from the
+/// machine's tracer when enabled (empty otherwise).
+CounterSnapshot snapshot_counters(Machine& m, const std::string& phase = "");
+
+struct CounterDelta {
+  std::string from;  ///< phase name of the starting snapshot
+  std::string to;    ///< phase name of the ending snapshot
+  Time t0 = 0;
+  Time t1 = 0;
+  MachineCounters machine;
+  std::vector<NodeletCounters> nodelets;
+  std::vector<std::vector<std::uint64_t>> migration_matrix;
+  bool trace_truncated = false;
+};
+
+/// Difference of two snapshots (`to` - `from`): counts subtract, rates are
+/// recomputed over the delta window, and `trace_truncated` is sticky — a
+/// delta over a truncated trace undercounts and must say so.
+CounterDelta counters_delta(const CounterSnapshot& from,
+                            const CounterSnapshot& to);
 
 }  // namespace emusim::emu

@@ -2,6 +2,18 @@
 
 namespace emusim::emu {
 
+namespace {
+MachineObserver* g_machine_observer = nullptr;
+}  // namespace
+
+MachineObserver* set_machine_observer(MachineObserver* obs) {
+  MachineObserver* prev = g_machine_observer;
+  g_machine_observer = obs;
+  return prev;
+}
+
+MachineObserver* machine_observer() { return g_machine_observer; }
+
 Nodelet::Nodelet(sim::Engine& eng, const SystemConfig& cfg, int index)
     : index_(index),
       channel_(eng, cfg.dram),
@@ -28,6 +40,15 @@ Machine::Machine(const SystemConfig& cfg)
   for (int i = 0; i < cfg.total_nodelets(); ++i) {
     nodelets_.emplace_back(eng_, cfg_, i);
   }
+  if (g_machine_observer != nullptr) g_machine_observer->machine_created(*this);
+}
+
+Machine::~Machine() {
+  // Counters, stats, and the trace are still intact here; the observer gets
+  // the machine's final simulated time as the run's elapsed time.
+  if (g_machine_observer != nullptr) {
+    g_machine_observer->machine_finished(*this, eng_.now());
+  }
 }
 
 sim::Op<> Context::atomic_fetch_remote(int nlet, std::uint64_t addr) {
@@ -35,7 +56,7 @@ sim::Op<> Context::atomic_fetch_remote(int nlet, std::uint64_t addr) {
   Nodelet& n = m.nodelet(nlet);
   ++n.stats.atomics_in;
   m.trace.record(engine().now(), sim::TraceKind::remote_atomic, nlet,
-                 nodelet_);
+                 nodelet_, 0, tid_);
   // Request/response each ride the nodelet fabric (approximated by half a
   // migration-engine latency each way) around the remote RMW.
   const Time hop = m.cfg().migration_latency / 2;
@@ -49,12 +70,13 @@ sim::Op<> Context::migrate_to(int dest) {
   if (dest == nodelet_) co_return;
   const Time t0 = engine().now();
   Machine& m = *machine_;
-  const int src_node = m.node_index_of(nodelet_);
+  const int src = nodelet_;  // depart()/arrive() rewrite nodelet_
+  const int src_node = m.node_index_of(src);
   const int dst_node = m.node_index_of(dest);
 
   depart();  // the context leaves the source threadlet slot immediately
   ++m.stats.migrations;
-  m.trace.record(t0, sim::TraceKind::migrate_out, nodelet_, dest);
+  m.trace.record(t0, sim::TraceKind::migrate_out, src, dest, 0, tid_);
 
   co_await m.node(src_node).migration_engine().pass();
   if (src_node != dst_node) {
@@ -68,7 +90,10 @@ sim::Op<> Context::migrate_to(int dest) {
   }
   co_await m.nodelet(dest).slots().acquire();
   arrive(dest);
-  m.trace.record(engine().now(), sim::TraceKind::migrate_in, dest, src_node);
+  // b is the source *nodelet* (the header's contract); this used to record
+  // the source node index, which collapses to 0 on any single-node config.
+  m.trace.record(engine().now(), sim::TraceKind::migrate_in, dest, src, 0,
+                 tid_);
   m.stats.migration_latency_ns.add(
       static_cast<std::uint64_t>((engine().now() - t0) / kNanosecond));
 }

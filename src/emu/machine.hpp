@@ -134,9 +134,29 @@ template <class F>
 sim::Task thread_main(Machine* m, std::unique_ptr<Context> ctx, F body);
 }
 
+/// Process-wide machine lifecycle hook, used by the observability layer
+/// (report/observe.hpp) to attach tracing and counter snapshots to every
+/// Machine a bench constructs — kernels build their machines internally, so
+/// flag-driven observation cannot reach them through call arguments.
+/// Observers must outlive every Machine constructed while installed.
+class MachineObserver {
+ public:
+  virtual ~MachineObserver() = default;
+  /// Called at the end of Machine construction (enable tracing here).
+  virtual void machine_created(Machine&) {}
+  /// Called at the start of Machine destruction, with the machine's final
+  /// simulated time; all counters and the trace are still readable.
+  virtual void machine_finished(Machine&, Time /*elapsed*/) {}
+};
+
+/// Install `obs` (nullptr to uninstall); returns the previous observer.
+MachineObserver* set_machine_observer(MachineObserver* obs);
+MachineObserver* machine_observer();
+
 class Machine {
  public:
   explicit Machine(const SystemConfig& cfg);
+  ~Machine();
   Machine(const Machine&) = delete;
   Machine& operator=(const Machine&) = delete;
 
@@ -153,9 +173,13 @@ class Machine {
   Node& node_of_nodelet(int nlet) { return node(node_index_of(nlet)); }
 
   MachineStats stats;
-  /// Optional event trace (see sim/trace.hpp); call trace.enable() before
-  /// run_root to capture per-nodelet event streams.
+  /// Optional event trace (see sim/trace.hpp); call trace.enable() (or
+  /// enable_ring) before run_root to capture per-nodelet event streams.
   sim::Tracer trace;
+
+  /// Next simulated thread id (monotonic per machine; stamped into trace
+  /// records so exports can follow one thread across nodelets).
+  int alloc_thread_id() { return next_thread_id_++; }
 
   /// Launch `body` as the root threadlet on nodelet 0 and run the
   /// simulation to completion.  Returns elapsed simulated time.
@@ -193,6 +217,7 @@ class Machine {
   Time cycle_;
   std::deque<Nodelet> nodelets_;
   std::deque<Node> nodes_;
+  int next_thread_id_ = 0;
 };
 
 /// Per-threadlet state and the timed-operation API.  Created by the spawn
@@ -204,6 +229,7 @@ class Context {
           bool has_slot)
       : machine_(&m),
         parent_(parent),
+        tid_(m.alloc_thread_id()),
         birth_nodelet_(birth),
         src_nodelet_(src),
         via_fabric_(via_fabric),
@@ -213,6 +239,7 @@ class Context {
   sim::Engine& engine() { return machine_->engine(); }
   const SystemConfig& cfg() const { return machine_->cfg(); }
   int nodelet() const { return nodelet_; }
+  int tid() const { return tid_; }
 
   /// Awaitable: execute `cycles` instructions on this thread's core.
   ///
@@ -256,7 +283,7 @@ class Context {
     ++n.stats.reads;
     n.stats.read_bytes += bytes;
     machine_->trace.record(engine().now(), sim::TraceKind::mem_read,
-                           nodelet_, -1, bytes);
+                           nodelet_, -1, bytes, tid_);
     return n.channel().read(addr, bytes);
   }
 
@@ -266,7 +293,7 @@ class Context {
     ++n.stats.writes;
     n.stats.write_bytes += bytes;
     machine_->trace.record(engine().now(), sim::TraceKind::mem_write,
-                           nodelet_, -1, bytes);
+                           nodelet_, -1, bytes, tid_);
     n.channel().write(addr, bytes);
   }
 
@@ -278,7 +305,7 @@ class Context {
     ++n.stats.remote_writes_in;
     n.stats.write_bytes += bytes;
     machine_->trace.record(engine().now(), sim::TraceKind::mem_write, nlet,
-                           nodelet_, bytes);
+                           nodelet_, bytes, tid_);
     n.channel().write(addr, bytes);
   }
 
@@ -288,7 +315,7 @@ class Context {
     Nodelet& n = machine_->nodelet(nlet);
     ++n.stats.atomics_in;
     machine_->trace.record(engine().now(), sim::TraceKind::remote_atomic,
-                           nlet, nodelet_);
+                           nlet, nodelet_, 0, tid_);
     n.channel().write(addr, 8);  // RMW occupies roughly one word access
     n.channel().write(addr, 8);
   }
@@ -367,6 +394,7 @@ class Context {
 
   Machine* machine_;
   Context* parent_;
+  int tid_;
   int nodelet_ = -1;
   int core_ = 0;
   int birth_nodelet_;
@@ -404,11 +432,12 @@ sim::Task thread_main(Machine* m, std::unique_ptr<Context> ctx, F body) {
   }
   c.arrive(c.birth_nodelet_);
   m->trace.record(m->engine().now(), sim::TraceKind::thread_start,
-                  c.birth_nodelet_);
+                  c.birth_nodelet_, -1, 0, c.tid_);
   co_await c.issue(static_cast<std::uint64_t>(m->cfg().thread_startup_cycles));
   co_await body(c);
   co_await c.sync();  // implicit cilk_sync at thread exit
-  m->trace.record(m->engine().now(), sim::TraceKind::thread_end, c.nodelet_);
+  m->trace.record(m->engine().now(), sim::TraceKind::thread_end, c.nodelet_,
+                  -1, 0, c.tid_);
   c.depart();
 }
 
@@ -419,12 +448,12 @@ bool Machine::try_start_local_thread(int birth, Context* parent,
                                      const F& body) {
   if (!nodelet(birth).slots().try_acquire()) return false;
   ++stats.spawns;
-  trace.record(eng_.now(), sim::TraceKind::thread_spawn, birth,
-               parent ? parent->nodelet_ : -1);
   if (parent) ++parent->live_children_;
   auto ctx = std::make_unique<Context>(*this, parent, birth,
                                        /*via_fabric=*/false, birth,
                                        /*has_slot=*/true);
+  trace.record(eng_.now(), sim::TraceKind::thread_spawn, birth,
+               parent ? parent->nodelet_ : -1, 0, ctx->tid_);
   auto task = detail::thread_main(this, std::move(ctx), body);
   task.on_complete([this, parent] {
     ++stats.threads_completed;
@@ -439,11 +468,11 @@ void Machine::start_fabric_thread(int birth, int src, Context* parent, F body,
                                   bool via_fabric) {
   ++stats.spawns;
   if (via_fabric) ++stats.remote_spawns;
-  trace.record(eng_.now(), sim::TraceKind::thread_spawn, birth,
-               parent ? parent->nodelet_ : -1);
   if (parent) ++parent->live_children_;
   auto ctx = std::make_unique<Context>(*this, parent, birth, via_fabric, src,
                                        /*has_slot=*/false);
+  trace.record(eng_.now(), sim::TraceKind::thread_spawn, birth,
+               parent ? parent->nodelet_ : -1, 0, ctx->tid_);
   auto task = detail::thread_main(this, std::move(ctx), std::move(body));
   task.on_complete([this, parent] {
     ++stats.threads_completed;

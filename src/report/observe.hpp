@@ -1,0 +1,118 @@
+// Observability layer: Perfetto/Chrome trace export, phase-scoped counter
+// snapshots, and the machine-lifecycle observer that wires both into the
+// bench harness (docs/OBSERVABILITY.md).
+//
+// The paper's analysis leans on the vendor simulator's per-nodelet event
+// counters (§III-B) — thread spawns, migrations, memory operations — to
+// explain *why* a bandwidth curve has its shape.  This layer makes the
+// same story inspectable for every bench run:
+//
+//   * write_perfetto_trace() renders a sim::Tracer stream as trace-event
+//     JSON loadable in https://ui.perfetto.dev (thread residency slices on
+//     per-nodelet tracks, migration flow arrows, counter tracks for
+//     resident threads and channel byte traffic).
+//   * PhaseTimeline marks named phases on a live machine and reports
+//     counter *deltas* between them, so warmup and measured traffic are
+//     attributed separately.
+//   * BenchObserver implements emu::MachineObserver for the harness's
+//     --trace/--counters flags: kernels construct machines internally, so
+//     observation attaches at machine construction, not call sites.
+//
+// Truncation guarantee: every export produced here carries the trace's
+// dropped/truncated accounting — an aggregation over a truncated trace is
+// a lower bound and is always labeled as one.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "emu/counters.hpp"
+#include "report/json.hpp"
+#include "sim/trace.hpp"
+
+namespace emusim::report {
+
+/// What the Perfetto writer retained and lost, mirrored into the file's
+/// "otherData.emusim" block so tools/traceview can report it offline.
+struct TraceAccounting {
+  std::size_t records = 0;   ///< records exported
+  std::uint64_t dropped = 0; ///< records the tracer lost before export
+  bool truncated = false;
+  bool ring = false;
+};
+
+TraceAccounting trace_accounting(const sim::Tracer& t);
+Json to_json(const TraceAccounting& a);
+
+/// Stream `t`'s records to `path` as Chrome/Perfetto trace-event JSON.
+/// Returns false with a message in `*err` on I/O failure.
+bool write_perfetto_trace(const sim::Tracer& t, int num_nodelets,
+                          const std::string& path, std::string* err);
+
+/// Counter-delta JSON: machine totals, per-nodelet rows (arrivals, traffic,
+/// row-hit rate, channel utilization), migration matrix, truncation flag.
+Json to_json(const emu::CounterDelta& d);
+
+/// Named-phase counter snapshots over one live machine.  mark() snapshots
+/// now; deltas() yields the per-phase differences (phase i covers the
+/// window between mark i-1 and mark i; the first mark opens the timeline).
+class PhaseTimeline {
+ public:
+  void mark(emu::Machine& m, const std::string& phase);
+  std::size_t marks() const { return snaps_.size(); }
+  std::vector<emu::CounterDelta> deltas() const;
+  /// JSON array of the per-phase deltas.
+  Json to_json() const;
+
+ private:
+  std::vector<emu::CounterSnapshot> snaps_;
+};
+
+/// Machine observer behind the harness's --trace/--counters flags.
+/// Installs itself process-wide on construction (restoring the previous
+/// observer on destruction), enables ring-buffered tracing on every machine
+/// a bench constructs, and keeps (a) one whole-run counter delta per
+/// machine and (b) the newest completed machine's trace for export.
+class BenchObserver final : public emu::MachineObserver {
+ public:
+  struct Options {
+    bool counters = false;        ///< collect per-run counter deltas
+    std::string trace_path;       ///< non-empty: export Perfetto JSON here
+    std::size_t trace_capacity = std::size_t{1} << 16;  ///< ring records
+  };
+
+  explicit BenchObserver(Options opt);
+  ~BenchObserver() override;
+  BenchObserver(const BenchObserver&) = delete;
+  BenchObserver& operator=(const BenchObserver&) = delete;
+
+  void machine_created(emu::Machine& m) override;
+  void machine_finished(emu::Machine& m, Time elapsed) override;
+
+  bool counters() const { return opt_.counters; }
+  bool tracing() const { return !opt_.trace_path.empty(); }
+  int runs() const { return runs_; }
+
+  /// Whole-run counter deltas (as JSON) for machines finished since the
+  /// last take, oldest first.  The caller labels them with phase names.
+  std::vector<Json> take_pending_counters();
+
+  /// Export the newest completed machine's trace to opt_.trace_path.
+  /// False (with *err) on I/O failure or when no machine ran.
+  bool write_trace(std::string* err) const;
+
+  /// Accounting for the trace write_trace() would export.
+  TraceAccounting last_trace_accounting() const;
+
+ private:
+  Options opt_;
+  emu::MachineObserver* prev_ = nullptr;
+  std::vector<std::pair<emu::Machine*, emu::CounterSnapshot>> starts_;
+  sim::Tracer last_trace_;
+  int last_num_nodelets_ = 0;
+  int runs_ = 0;
+  std::vector<Json> pending_;
+};
+
+}  // namespace emusim::report

@@ -106,6 +106,7 @@ Json BenchResult::to_json() const {
     arr.push_back(std::move(js));
   }
   j.set("series", std::move(arr));
+  if (!observe.is_null()) j.set("observe", observe);
   return j;
 }
 
@@ -171,6 +172,7 @@ bool BenchResult::from_json(const Json& j, BenchResult* out,
     }
     r.series.push_back(std::move(s));
   }
+  if (const Json* obs = j.find("observe"); obs != nullptr) r.observe = *obs;
   *out = std::move(r);
   return true;
 }

@@ -48,6 +48,11 @@ struct BenchResult {
   std::string fingerprint;    ///< hash of bench + config (see fingerprint())
   std::vector<std::pair<std::string, std::string>> config;
   std::vector<ResultSeries> series;
+  /// Optional observability payload (docs/OBSERVABILITY.md): per-phase
+  /// counter deltas and trace accounting, emitted by --counters/--trace.
+  /// Additive — readers that predate it ignore the key, so the schema
+  /// version is unchanged.  Null when the run was not observed.
+  Json observe;
 
   const ResultSeries* find(const std::string& name) const;
 

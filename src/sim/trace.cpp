@@ -20,54 +20,67 @@ const char* to_string(TraceKind k) {
 
 std::size_t Tracer::count(TraceKind kind, std::int32_t who) const {
   std::size_t n = 0;
-  for (const auto& r : records_) {
+  for_each([&](const TraceRecord& r) {
     if (r.kind == kind && (who < 0 || r.a == who)) ++n;
-  }
+  });
   return n;
 }
 
 void Tracer::dump(std::FILE* out) const {
-  for (const auto& r : records_) {
-    std::fprintf(out, "%14s  %-13s a=%-3d b=%-3d arg=%llu\n",
-                 format_time(r.t).c_str(), to_string(r.kind), r.a, r.b,
+  for_each([&](const TraceRecord& r) {
+    std::fprintf(out, "%14s  %-13s a=%-3d b=%-3d tid=%-5d arg=%llu\n",
+                 format_time(r.t).c_str(), to_string(r.kind), r.a, r.b, r.tid,
                  static_cast<unsigned long long>(r.arg));
-  }
-  if (dropped_ > 0) {
-    std::fprintf(out, "... %llu records dropped at capacity\n",
-                 static_cast<unsigned long long>(dropped_));
+  });
+  if (truncated()) {
+    std::fprintf(out, "... TRUNCATED: %llu records %s at capacity %zu\n",
+                 static_cast<unsigned long long>(dropped_),
+                 ring_ ? "overwritten (oldest first)" : "dropped (newest)",
+                 capacity_);
   }
 }
 
 std::vector<std::vector<std::uint64_t>> Tracer::migration_matrix(
-    int num_nodelets) const {
+    int num_nodelets, std::uint64_t* out_of_range) const {
   std::vector<std::vector<std::uint64_t>> m(
       static_cast<std::size_t>(num_nodelets),
       std::vector<std::uint64_t>(static_cast<std::size_t>(num_nodelets), 0));
-  for (const auto& r : records_) {
-    if (r.kind != TraceKind::migrate_out) continue;
+  std::uint64_t oor = 0;
+  for_each([&](const TraceRecord& r) {
+    if (r.kind != TraceKind::migrate_out) return;
     if (r.a >= 0 && r.a < num_nodelets && r.b >= 0 && r.b < num_nodelets) {
       ++m[static_cast<std::size_t>(r.a)][static_cast<std::size_t>(r.b)];
+    } else {
+      ++oor;
     }
-  }
+  });
+  if (out_of_range != nullptr) *out_of_range = oor;
   return m;
 }
 
-std::vector<std::vector<std::uint64_t>> Tracer::activity(TraceKind kind,
-                                                         int num_entities,
-                                                         Time bucket,
-                                                         Time end) const {
+std::vector<std::vector<std::uint64_t>> Tracer::activity(
+    TraceKind kind, int num_entities, Time bucket, Time end,
+    std::uint64_t* out_of_window) const {
   EMUSIM_CHECK(num_entities > 0 && bucket > 0);
   const auto buckets =
       static_cast<std::size_t>(end / bucket + (end % bucket ? 1 : 0));
   std::vector<std::vector<std::uint64_t>> act(
       static_cast<std::size_t>(num_entities),
       std::vector<std::uint64_t>(buckets ? buckets : 1, 0));
-  for (const auto& r : records_) {
-    if (r.kind != kind || r.a < 0 || r.a >= num_entities) continue;
-    auto b = static_cast<std::size_t>(r.t / bucket);
-    if (b >= act[0].size()) b = act[0].size() - 1;
+  std::uint64_t oow = 0;
+  for_each([&](const TraceRecord& r) {
+    if (r.kind != kind || r.a < 0 || r.a >= num_entities) return;
+    // Events at or past `end` (and before 0) are outside the requested
+    // window.  Folding them into the edge buckets would conflate them with
+    // real edge activity, so they are counted separately instead.
+    if (r.t < 0 || r.t >= end) {
+      ++oow;
+      return;
+    }
+    const auto b = static_cast<std::size_t>(r.t / bucket);
     ++act[static_cast<std::size_t>(r.a)][b];
-  }
+  });
+  if (out_of_window != nullptr) *out_of_window = oow;
   return act;
 }
 

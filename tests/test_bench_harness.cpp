@@ -111,12 +111,67 @@ TEST(ParseOptions, WithoutPrefixForeignFlagsAreErrors) {
   EXPECT_FALSE(parse_options(a.argc(), a.argv(), &opt, &err));
 }
 
+TEST(ParseOptions, ObserveFlagsAndInlineValues) {
+  Argv a({"--trace", "t.json", "--trace-cap=4096", "--counters",
+          "--filter=spawn"});
+  Options opt;
+  std::string err;
+  ASSERT_TRUE(parse_options(a.argc(), a.argv(), &opt, &err)) << err;
+  EXPECT_EQ(opt.trace_path, "t.json");
+  EXPECT_EQ(opt.trace_cap, 4096);
+  EXPECT_TRUE(opt.counters);
+  EXPECT_EQ(opt.filter, "spawn");  // --flag=value form on a string flag
+}
+
+TEST(ParseOptions, TraceEqualsFormAndDefaults) {
+  Argv a({"--trace=out/trace.json"});
+  Options opt;
+  std::string err;
+  ASSERT_TRUE(parse_options(a.argc(), a.argv(), &opt, &err)) << err;
+  EXPECT_EQ(opt.trace_path, "out/trace.json");
+  EXPECT_EQ(opt.trace_cap, 1 << 16);
+  EXPECT_FALSE(opt.counters);
+}
+
+TEST(ParseOptions, RejectsMalformedObserveFlags) {
+  const std::vector<std::vector<std::string>> bad = {
+      {"--trace"},             // missing value
+      {"--trace="},            // empty value
+      {"--trace-cap", "0"},    // must be positive
+      {"--trace-cap", "-5"},
+      {"--trace-cap", "abc"},
+      {"--counters=yes"},      // boolean flag takes no value
+      {"--quick=1"},
+  };
+  for (const auto& args : bad) {
+    Argv a(args);
+    Options opt;
+    std::string err;
+    EXPECT_FALSE(parse_options(a.argc(), a.argv(), &opt, &err)) << args[0];
+    EXPECT_FALSE(err.empty()) << args[0];
+  }
+}
+
+TEST(ParseOptions, PassthroughPrefixWinsOverEqualsSplitting) {
+  // A foreign flag with '=' must be preserved verbatim, not split as if it
+  // were one of ours.
+  Argv a({"--benchmark_filter=BM_x", "--trace=t.json"});
+  Options opt;
+  std::string err;
+  ASSERT_TRUE(parse_options(a.argc(), a.argv(), &opt, &err, "--benchmark_"))
+      << err;
+  ASSERT_EQ(opt.passthrough.size(), 1u);
+  EXPECT_EQ(opt.passthrough[0], "--benchmark_filter=BM_x");
+  EXPECT_EQ(opt.trace_path, "t.json");
+}
+
 TEST(Usage, MentionsEveryFlag) {
   const std::string u = emusim::bench::usage("some_bench");
   EXPECT_NE(u.find("usage:"), std::string::npos);
   EXPECT_NE(u.find("some_bench"), std::string::npos);
   for (const char* flag :
-       {"--csv", "--json", "--quick", "--filter", "--reps", "--help"}) {
+       {"--csv", "--json", "--quick", "--filter", "--reps", "--trace",
+        "--trace-cap", "--counters", "--help"}) {
     EXPECT_NE(u.find(flag), std::string::npos) << flag;
   }
 }

@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "emu/counters.hpp"
 #include "emu/machine.hpp"
 #include "emu/runtime/alloc.hpp"
@@ -78,6 +81,96 @@ TEST(Tracer, ActivityBuckets) {
   EXPECT_EQ(a[1][1], 1u);
 }
 
+TEST(Tracer, TruncatedFlagDistinguishesFullFromOverflowed) {
+  Tracer t;
+  t.enable(/*capacity=*/4);
+  for (int i = 0; i < 4; ++i) t.record(i, TraceKind::mem_read, 0);
+  EXPECT_FALSE(t.truncated());  // exactly full is not truncated
+  t.record(4, TraceKind::mem_read, 0);
+  EXPECT_TRUE(t.truncated());
+  EXPECT_EQ(t.dropped(), 1u);
+}
+
+TEST(Tracer, RingModeKeepsNewestInTimeOrder) {
+  Tracer t;
+  t.enable_ring(/*capacity=*/4);
+  EXPECT_TRUE(t.ring());
+  for (int i = 0; i < 10; ++i) t.record(ns(i), TraceKind::mem_read, i);
+  ASSERT_EQ(t.size(), 4u);
+  EXPECT_EQ(t.dropped(), 6u);
+  EXPECT_TRUE(t.truncated());
+  // at() and for_each() present records oldest-to-newest even after the
+  // write head wrapped mid-buffer.
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(t.at(i).t, ns(6 + static_cast<long long>(i)));
+    EXPECT_EQ(t.at(i).a, 6 + static_cast<int>(i));
+  }
+  std::vector<Time> seen;
+  t.for_each([&](const sim::TraceRecord& r) { seen.push_back(r.t); });
+  ASSERT_EQ(seen.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(seen.begin(), seen.end()));
+  EXPECT_EQ(seen.front(), ns(6));
+  EXPECT_EQ(seen.back(), ns(9));
+}
+
+TEST(Tracer, AggregatesAfterOverflowUseRetainedRecordsOnly) {
+  // Linear mode keeps the oldest records; ring mode keeps the newest.  In
+  // both cases aggregation must reflect exactly the retained set and the
+  // truncated flag must warn the caller (satellite: silent dropped_).
+  Tracer lin;
+  lin.enable(/*capacity=*/3);
+  lin.record(0, TraceKind::migrate_out, 0, 1);
+  lin.record(1, TraceKind::migrate_out, 1, 2);
+  lin.record(2, TraceKind::migrate_out, 2, 3);
+  lin.record(3, TraceKind::migrate_out, 3, 4);  // dropped
+  auto m = lin.migration_matrix(8);
+  EXPECT_EQ(m[0][1] + m[1][2] + m[2][3], 3u);
+  EXPECT_EQ(m[3][4], 0u);
+  EXPECT_TRUE(lin.truncated());
+
+  Tracer ring;
+  ring.enable_ring(/*capacity=*/3);
+  ring.record(0, TraceKind::migrate_out, 0, 1);  // overwritten
+  ring.record(1, TraceKind::migrate_out, 1, 2);
+  ring.record(2, TraceKind::migrate_out, 2, 3);
+  ring.record(3, TraceKind::migrate_out, 3, 4);
+  m = ring.migration_matrix(8);
+  EXPECT_EQ(m[0][1], 0u);
+  EXPECT_EQ(m[1][2] + m[2][3] + m[3][4], 3u);
+  EXPECT_TRUE(ring.truncated());
+}
+
+TEST(Tracer, MigrationMatrixCountsOutOfRangeIds) {
+  Tracer t;
+  t.enable();
+  t.record(0, TraceKind::migrate_out, 0, 1);
+  t.record(0, TraceKind::migrate_out, 7, 9);   // dst out of range for 8
+  t.record(0, TraceKind::migrate_out, -1, 3);  // src out of range
+  std::uint64_t oor = 0;
+  const auto m = t.migration_matrix(8, &oor);
+  EXPECT_EQ(m[0][1], 1u);
+  EXPECT_EQ(oor, 2u);
+}
+
+TEST(Tracer, ActivityWindowEdgesAndOutOfWindowCount) {
+  Tracer t;
+  t.enable();
+  t.record(0, TraceKind::mem_read, 0);         // t == 0: first bucket
+  t.record(ns(29), TraceKind::mem_read, 0);    // inside last bucket
+  t.record(ns(30), TraceKind::mem_read, 0);    // t == end: out of window
+  t.record(ns(99), TraceKind::mem_read, 0);    // far past end
+  t.record(-ns(1), TraceKind::mem_read, 0);    // before the window
+  std::uint64_t oow = 0;
+  const auto a = t.activity(TraceKind::mem_read, 1, ns(10), ns(30), &oow);
+  ASSERT_EQ(a[0].size(), 3u);
+  EXPECT_EQ(a[0][0], 1u);
+  EXPECT_EQ(a[0][1], 0u);
+  // Regression: records at/after `end` used to be clamped into the last
+  // bucket, inflating it; they must be dropped and counted instead.
+  EXPECT_EQ(a[0][2], 1u);
+  EXPECT_EQ(oow, 3u);
+}
+
 // --- machine integration ---------------------------------------------------
 
 sim::Op<> traced_workload(emu::Context& ctx,
@@ -125,6 +218,26 @@ TEST(TracerIntegration, RoundRobinWalkMigrationMatrixIsCyclic) {
       }
     }
   }
+}
+
+TEST(TracerIntegration, MigrateInRecordsSourceNodeletAndThreadId) {
+  emu::Machine m(emu::SystemConfig::chick_hw());
+  m.trace.enable();
+  emu::Striped1D<std::int64_t> arr(m, 64);
+  m.run_root([&](emu::Context& ctx) { return traced_workload(ctx, &arr); });
+  // Regression: migrate_in.b used to carry the *node* index (always 0 on a
+  // single-node chick), losing the route.  It must be the source nodelet,
+  // pairing with a migrate_out of the same thread id.
+  std::uint64_t paired = 0;
+  m.trace.for_each([&](const sim::TraceRecord& r) {
+    if (r.kind != sim::TraceKind::migrate_in) return;
+    EXPECT_GE(r.b, 0);
+    EXPECT_LT(r.b, m.num_nodelets());
+    EXPECT_EQ((r.b + 1) % m.num_nodelets(), r.a);  // round-robin walk
+    EXPECT_GE(r.tid, 0);
+    ++paired;
+  });
+  EXPECT_EQ(paired, m.stats.migrations);
 }
 
 TEST(Counters, ReportContainsPerNodeletRows) {
