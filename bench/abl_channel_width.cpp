@@ -15,6 +15,7 @@
 #include "mem/dram.hpp"
 #include "sim/random.hpp"
 #include "sim/task.hpp"
+#include "sweep_pool.hpp"
 
 using namespace emusim;
 
@@ -55,22 +56,27 @@ int main(int argc, char** argv) {
       "Ablation: random reads through one DRAM channel — bus width vs "
       "useful bandwidth (per-channel peak held at 1.6 GB/s)");
 
+  bench::SweepPool pool(h);
   for (int bus_bits : {8, 16, 32, 64}) {
-    mem::DramTiming timing = mem::DramTiming::ncdram_chick();
-    timing.bus_bits = bus_bits;
-    // Hold peak constant: wider bus, proportionally slower transfer clock.
-    timing.transfer_rate_mts = 1600.0 * 8 / bus_bits;
+    pool.submit([&h, count, bus_bits](bench::PointSink& sink) {
+      mem::DramTiming timing = mem::DramTiming::ncdram_chick();
+      timing.bus_bits = bus_bits;
+      // Hold peak constant: wider bus, proportionally slower transfer
+      // clock.
+      timing.transfer_rate_mts = 1600.0 * 8 / bus_bits;
 
-    const double bw8 = bench::repeated(
-        h, [&] { return random_read_bandwidth(timing, 8, count); });
-    const double bw64 = bench::repeated(
-        h, [&] { return random_read_bandwidth(timing, 64, count); });
-    const double eff = bw8 / (timing.bytes_per_sec() / 1e6);
-    if (h.enabled("read8")) {
-      h.add("read8", bus_bits, bw8, {{"efficiency", eff}});
-    }
-    if (h.enabled("read64")) h.add("read64", bus_bits, bw64);
+      const double bw8 = bench::repeated(
+          h, [&] { return random_read_bandwidth(timing, 8, count); });
+      const double bw64 = bench::repeated(
+          h, [&] { return random_read_bandwidth(timing, 64, count); });
+      const double eff = bw8 / (timing.bytes_per_sec() / 1e6);
+      if (h.enabled("read8")) {
+        sink.add("read8", bus_bits, bw8, {{"efficiency", eff}});
+      }
+      if (h.enabled("read64")) sink.add("read64", bus_bits, bw64);
+    });
   }
+  pool.wait();
   std::printf(
       "\nNote: with the peak held constant, every width moves 64 B bursts "
       "equally well;\nthe narrow bus wins on 8 B requests because its "

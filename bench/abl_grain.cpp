@@ -7,6 +7,7 @@
 #include "bench_util.hpp"
 #include "kernels/spmv_emu.hpp"
 #include "kernels/spmv_xeon.hpp"
+#include "sweep_pool.hpp"
 
 using namespace emusim;
 
@@ -23,32 +24,36 @@ int main(int argc, char** argv) {
   const std::vector<std::size_t> grains =
       h.quick() ? std::vector<std::size_t>{16, 1024}
                 : std::vector<std::size_t>{4, 16, 64, 256, 1024, 4096, 16384};
+  bench::SweepPool pool(h);
   for (std::size_t g : grains) {
-    kernels::SpmvEmuParams ep;
-    ep.laplacian_n = n;
-    ep.layout = kernels::SpmvLayout::two_d;
-    ep.grain = g;
-    const auto er = bench::repeated(h, [&] {
-      return kernels::run_spmv_emu(emu::SystemConfig::chick_hw(), ep);
-    });
+    pool.submit([&h, n, g](bench::PointSink& sink) {
+      kernels::SpmvEmuParams ep;
+      ep.laplacian_n = n;
+      ep.layout = kernels::SpmvLayout::two_d;
+      ep.grain = g;
+      const auto er = bench::repeated(h, [&] {
+        return kernels::run_spmv_emu(emu::SystemConfig::chick_hw(), ep);
+      });
 
-    kernels::SpmvXeonParams xp;
-    xp.laplacian_n = n;
-    xp.impl = kernels::SpmvXeonImpl::cilk_spawn;
-    xp.grain = g;
-    const auto xr = bench::repeated(h, [&] {
-      return kernels::run_spmv_xeon(xeon::SystemConfig::haswell(), xp);
-    });
+      kernels::SpmvXeonParams xp;
+      xp.laplacian_n = n;
+      xp.impl = kernels::SpmvXeonImpl::cilk_spawn;
+      xp.grain = g;
+      const auto xr = bench::repeated(h, [&] {
+        return kernels::run_spmv_xeon(xeon::SystemConfig::haswell(), xp);
+      });
 
-    if (!er.verified || !xr.verified) h.fail("verification failed");
-    if (h.enabled("emu_2d")) {
-      h.add("emu_2d", static_cast<double>(g), er.mb_per_sec,
-            {{"sim_ms", to_seconds(er.elapsed) * 1e3}});
-    }
-    if (h.enabled("xeon_cilk_spawn")) {
-      h.add("xeon_cilk_spawn", static_cast<double>(g), xr.mb_per_sec,
-            {{"sim_ms", to_seconds(xr.elapsed) * 1e3}});
-    }
+      if (!er.verified || !xr.verified) sink.fail("verification failed");
+      if (h.enabled("emu_2d")) {
+        sink.add("emu_2d", static_cast<double>(g), er.mb_per_sec,
+                 {{"sim_ms", to_seconds(er.elapsed) * 1e3}});
+      }
+      if (h.enabled("xeon_cilk_spawn")) {
+        sink.add("xeon_cilk_spawn", static_cast<double>(g), xr.mb_per_sec,
+                 {{"sim_ms", to_seconds(xr.elapsed) * 1e3}});
+      }
+    });
   }
+  pool.wait();
   return h.done();
 }

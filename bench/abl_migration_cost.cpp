@@ -11,6 +11,7 @@
 #include "bench_util.hpp"
 #include "kernels/chase_emu.hpp"
 #include "kernels/spmv_emu.hpp"
+#include "sweep_pool.hpp"
 
 using namespace emusim;
 
@@ -29,43 +30,47 @@ int main(int argc, char** argv) {
                                          ? std::vector<double>{1.4}
                                          : std::vector<double>{0.7, 1.4, 2.8};
 
+  bench::SweepPool pool(h);
   for (double rate : rates) {
     for (double lu : lat_us) {
-      auto cfg = emu::SystemConfig::chick_hw();
-      cfg.migrations_per_sec = rate;
-      cfg.migration_latency = us(lu);
-      // The latency dimension becomes a categorical label so the 2D sweep
-      // keeps one point per (rate, latency) cell.
-      char lbl[48];
-      std::snprintf(lbl, sizeof lbl, "%gM/%gus", rate / 1e6, lu);
+      pool.submit([&h, rate, lu](bench::PointSink& sink) {
+        auto cfg = emu::SystemConfig::chick_hw();
+        cfg.migrations_per_sec = rate;
+        cfg.migration_latency = us(lu);
+        // The latency dimension becomes a categorical label so the 2D
+        // sweep keeps one point per (rate, latency) cell.
+        char lbl[48];
+        std::snprintf(lbl, sizeof lbl, "%gM/%gus", rate / 1e6, lu);
 
-      kernels::ChaseEmuParams cp;
-      cp.n = h.quick() ? (1u << 14) : (1u << 16);
-      cp.block = 1;
-      cp.threads = h.quick() ? 64 : 512;
-      const auto cr =
-          bench::repeated(h, [&] { return kernels::run_chase_emu(cfg, cp); });
+        kernels::ChaseEmuParams cp;
+        cp.n = h.quick() ? (1u << 14) : (1u << 16);
+        cp.block = 1;
+        cp.threads = h.quick() ? 64 : 512;
+        const auto cr = bench::repeated(
+            h, [&] { return kernels::run_chase_emu(cfg, cp); });
 
-      kernels::SpmvEmuParams sp;
-      sp.laplacian_n = h.quick() ? 50 : 100;
-      sp.layout = kernels::SpmvLayout::one_d;
-      const auto sr =
-          bench::repeated(h, [&] { return kernels::run_spmv_emu(cfg, sp); });
+        kernels::SpmvEmuParams sp;
+        sp.laplacian_n = h.quick() ? 50 : 100;
+        sp.layout = kernels::SpmvLayout::one_d;
+        const auto sr = bench::repeated(
+            h, [&] { return kernels::run_spmv_emu(cfg, sp); });
 
-      if (!cr.verified || !sr.verified) h.fail("verification failed");
-      if (h.enabled("chase_block1")) {
-        h.add_labeled("chase_block1", lbl, rate, cr.mb_per_sec,
-                      {{"migrations_per_sec", rate},
-                       {"latency_us", lu},
-                       {"sim_ms", to_seconds(cr.elapsed) * 1e3}});
-      }
-      if (h.enabled("spmv_1d")) {
-        h.add_labeled("spmv_1d", lbl, rate, sr.mb_per_sec,
-                      {{"migrations_per_sec", rate},
-                       {"latency_us", lu},
-                       {"sim_ms", to_seconds(sr.elapsed) * 1e3}});
-      }
+        if (!cr.verified || !sr.verified) sink.fail("verification failed");
+        if (h.enabled("chase_block1")) {
+          sink.add_labeled("chase_block1", lbl, rate, cr.mb_per_sec,
+                           {{"migrations_per_sec", rate},
+                            {"latency_us", lu},
+                            {"sim_ms", to_seconds(cr.elapsed) * 1e3}});
+        }
+        if (h.enabled("spmv_1d")) {
+          sink.add_labeled("spmv_1d", lbl, rate, sr.mb_per_sec,
+                           {{"migrations_per_sec", rate},
+                            {"latency_us", lu},
+                            {"sim_ms", to_seconds(sr.elapsed) * 1e3}});
+        }
+      });
     }
   }
+  pool.wait();
   return h.done();
 }

@@ -10,6 +10,7 @@
 #include "bench_util.hpp"
 #include "kernels/chase_xeon.hpp"
 #include "kernels/spmv_xeon.hpp"
+#include "sweep_pool.hpp"
 
 using namespace emusim;
 
@@ -22,34 +23,38 @@ int main(int argc, char** argv) {
       "Ablation: remote-socket hop latency (interleaved memory) vs "
       "latency-bound benchmarks — MB/s");
 
+  bench::SweepPool pool(h);
   for (double hop_ns : h.quick() ? std::vector<double>{50}
                                  : std::vector<double>{0, 25, 50, 100, 200}) {
-    auto snb = xeon::SystemConfig::sandy_bridge();
-    snb.remote_socket_latency = ns(hop_ns);
-    kernels::ChaseXeonParams cp;
-    cp.n = h.quick() ? (1u << 16) : (std::size_t{1} << 21);
-    cp.block = 64;
-    cp.threads = 32;
-    const auto cr =
-        bench::repeated(h, [&] { return kernels::run_chase_xeon(snb, cp); });
+    pool.submit([&h, hop_ns](bench::PointSink& sink) {
+      auto snb = xeon::SystemConfig::sandy_bridge();
+      snb.remote_socket_latency = ns(hop_ns);
+      kernels::ChaseXeonParams cp;
+      cp.n = h.quick() ? (1u << 16) : (std::size_t{1} << 21);
+      cp.block = 64;
+      cp.threads = 32;
+      const auto cr =
+          bench::repeated(h, [&] { return kernels::run_chase_xeon(snb, cp); });
 
-    auto hsw = xeon::SystemConfig::haswell();
-    hsw.remote_socket_latency = ns(hop_ns);
-    kernels::SpmvXeonParams sp;
-    sp.laplacian_n = h.quick() ? 50 : 200;
-    sp.impl = kernels::SpmvXeonImpl::mkl;
-    const auto sr =
-        bench::repeated(h, [&] { return kernels::run_spmv_xeon(hsw, sp); });
+      auto hsw = xeon::SystemConfig::haswell();
+      hsw.remote_socket_latency = ns(hop_ns);
+      kernels::SpmvXeonParams sp;
+      sp.laplacian_n = h.quick() ? 50 : 200;
+      sp.impl = kernels::SpmvXeonImpl::mkl;
+      const auto sr =
+          bench::repeated(h, [&] { return kernels::run_spmv_xeon(hsw, sp); });
 
-    if (!cr.verified || !sr.verified) h.fail("verification failed");
-    if (h.enabled("chase_block64")) {
-      h.add("chase_block64", hop_ns, cr.mb_per_sec,
-            {{"sim_ms", to_seconds(cr.elapsed) * 1e3}});
-    }
-    if (h.enabled("spmv_mkl")) {
-      h.add("spmv_mkl", hop_ns, sr.mb_per_sec,
-            {{"sim_ms", to_seconds(sr.elapsed) * 1e3}});
-    }
+      if (!cr.verified || !sr.verified) sink.fail("verification failed");
+      if (h.enabled("chase_block64")) {
+        sink.add("chase_block64", hop_ns, cr.mb_per_sec,
+                 {{"sim_ms", to_seconds(cr.elapsed) * 1e3}});
+      }
+      if (h.enabled("spmv_mkl")) {
+        sink.add("spmv_mkl", hop_ns, sr.mb_per_sec,
+                 {{"sim_ms", to_seconds(sr.elapsed) * 1e3}});
+      }
+    });
   }
+  pool.wait();
   return h.done();
 }

@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <thread>
 
 #include "emu/config.hpp"
 #include "report/csv.hpp"
@@ -36,8 +37,8 @@ std::string format_x(const report::ResultPoint& p) {
 std::string usage(const std::string& bench_name) {
   return "usage: " + bench_name +
          " [--csv <path>] [--json <path>] [--quick] [--filter <substr>]"
-         " [--reps <n>] [--trace <path>] [--trace-cap <records>]"
-         " [--counters] [--help]\n"
+         " [--reps <n>] [--jobs <n>] [--trace <path>]"
+         " [--trace-cap <records>] [--counters] [--help]\n"
          "value flags also accept --flag=value\n";
 }
 
@@ -98,6 +99,8 @@ bool parse_options(int argc, char** argv, Options* out, std::string* err,
       if (!take_value(i, "--filter", &o.filter)) return false;
     } else if (std::strcmp(a, "--reps") == 0) {
       if (!take_int(i, "--reps", 1, 1000000, &o.reps)) return false;
+    } else if (std::strcmp(a, "--jobs") == 0) {
+      if (!take_int(i, "--jobs", 1, 1024, &o.jobs)) return false;
     } else if (std::strcmp(a, "--trace") == 0) {
       if (!take_value(i, "--trace", &o.trace_path)) return false;
       if (o.trace_path.empty()) {
@@ -177,6 +180,12 @@ void Harness::config(const std::string& key, long long value) {
   config(key, std::to_string(value));
 }
 
+int Harness::jobs() const {
+  if (opt_.jobs > 0) return opt_.jobs;
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<int>(hc);
+}
+
 bool Harness::enabled(const std::string& series) const {
   return opt_.filter.empty() || series.find(opt_.filter) != std::string::npos;
 }
@@ -206,7 +215,7 @@ report::ResultSeries& Harness::series_slot(const std::string& name) {
     if (result_.series[i].name == name) return result_.series[i];
   }
   result_.series.push_back(report::ResultSeries{name, {}});
-  merge_counts_.emplace_back();
+  accums_.emplace_back();
   tables_[current_table_].series_idx.push_back(result_.series.size() - 1);
   return result_.series.back();
 }
@@ -230,8 +239,11 @@ void Harness::add_labeled(const std::string& series, const std::string& label,
   report::ResultSeries& s = series_slot(series);
   const std::size_t si =
       static_cast<std::size_t>(&s - result_.series.data());
-  // Merge with an existing point at the same position (running mean), so a
-  // --reps loop over the same sweep averages instead of duplicating.
+  // Merge with an existing point at the same position, so a --reps loop
+  // over the same sweep averages instead of duplicating.  The stored value
+  // is always raw-sum / count — stable accumulation, so the average is the
+  // same no matter what order duplicates arrive in (a running mean is not,
+  // which would make --reps output depend on scheduling).
   for (std::size_t pi = 0; pi < s.points.size(); ++pi) {
     report::ResultPoint& p = s.points[pi];
     const bool same = label.empty()
@@ -240,21 +252,28 @@ void Harness::add_labeled(const std::string& series, const std::string& label,
                                     1e-9 * std::fmax(1.0, std::fabs(x))
                           : p.label == label;
     if (!same) continue;
-    int& n = merge_counts_[si][pi];
-    ++n;
-    p.y += (y - p.y) / n;
+    PointAccum& a = accums_[si][pi];
+    a.y_sum += y;
+    ++a.n;
+    p.y = a.y_sum / a.n;
     for (const auto& [k, v] : extra) {
-      for (auto& [pk, pv] : p.extra) {
-        if (pk == k) {
-          pv += (v - pv) / n;
+      for (std::size_t ei = 0; ei < p.extra.size(); ++ei) {
+        if (p.extra[ei].first == k) {
+          a.extra_sums[ei] += v;
+          p.extra[ei].second = a.extra_sums[ei] / a.n;
           break;
         }
       }
     }
     return;
   }
+  PointAccum a;
+  a.y_sum = y;
+  a.n = 1;
+  a.extra_sums.reserve(extra.size());
+  for (const auto& [k, v] : extra) a.extra_sums.push_back(v);
   s.points.push_back(report::ResultPoint{x, y, label, std::move(extra)});
-  merge_counts_[si].push_back(1);
+  accums_[si].push_back(std::move(a));
 }
 
 void Harness::fail(const std::string& msg) {

@@ -9,7 +9,13 @@
 //   --filter <str>   run only series whose name contains <str>
 //   --reps <n>       repeat each kernel invocation n times (the simulator is
 //                    deterministic, so this exercises wall-clock stability;
-//                    duplicate points are averaged)
+//                    duplicate points are averaged with a stable sum/count
+//                    accumulation, so the average is order-independent)
+//   --jobs <n>       run sweep points on n worker threads (default: the
+//                    host's hardware concurrency).  Output is byte-identical
+//                    to --jobs 1 apart from wall-clock fields: points merge
+//                    into the result in submission order regardless of
+//                    completion order (bench/sweep_pool.hpp)
 //   --trace <path>   export the newest simulated run as Chrome/Perfetto
 //                    trace-event JSON (load at https://ui.perfetto.dev or
 //                    summarize with tools/traceview)
@@ -52,6 +58,10 @@ struct Options {
   bool quick = false;
   std::string filter;
   int reps = 1;
+  /// Worker threads for the sweep pool; 0 = auto (hardware_concurrency).
+  /// Deliberately excluded from the config fingerprint: any --jobs value
+  /// produces the same simulated results.
+  int jobs = 0;
   std::string trace_path;
   int trace_cap = 1 << 16;
   bool counters = false;
@@ -82,6 +92,9 @@ class Harness {
   const Options& opt() const { return opt_; }
   bool quick() const { return opt_.quick; }
   int reps() const { return opt_.reps; }
+  /// Resolved --jobs value: the flag, or hardware_concurrency (min 1) when
+  /// the flag was not given.
+  int jobs() const;
 
   /// Axis names recorded in the JSON schema (e.g. "threads", "mb_per_sec").
   void axes(std::string x, std::string y);
@@ -119,11 +132,29 @@ class Harness {
 
   const report::BenchResult& result() const { return result_; }
 
+  /// Mark the y metric as wall-clock-derived (host throughput): the result
+  /// JSON gets "y_wall_clock": true and tools/benchdiff reports but never
+  /// gates on it.  micro_simcore uses this; simulated-metric benches don't.
+  void mark_wall_clock_y() { result_.y_wall_clock = true; }
+
+  /// The --trace/--counters observer, or nullptr when neither flag is set.
+  /// SweepPool folds per-job observers into this one at the merge barrier.
+  report::BenchObserver* observer() { return observer_.get(); }
+
  private:
   struct TableGroup {
     std::string title;
     int precision = 1;
     std::vector<std::size_t> series_idx;  ///< indices into result_.series
+  };
+
+  /// Per-point stable accumulator: duplicate (series, x) adds keep the raw
+  /// sum and count, and the stored point is sum/count — the same value in
+  /// any add order, unlike a running mean.
+  struct PointAccum {
+    double y_sum = 0.0;
+    std::vector<double> extra_sums;  ///< aligned with the point's extra
+    int n = 0;
   };
 
   report::ResultSeries& series_slot(const std::string& name);
@@ -140,8 +171,8 @@ class Harness {
   report::BenchResult result_;
   std::vector<TableGroup> tables_;
   std::size_t current_table_ = 0;
-  /// Per-point merge counts, aligned with result_.series[i].points.
-  std::vector<std::vector<int>> merge_counts_;
+  /// Per-point accumulators, aligned with result_.series[i].points.
+  std::vector<std::vector<PointAccum>> accums_;
   double start_wall_ = 0.0;
   /// Installed when --trace/--counters is active (docs/OBSERVABILITY.md).
   std::unique_ptr<report::BenchObserver> observer_;

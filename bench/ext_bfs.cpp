@@ -12,6 +12,7 @@
 #include "bench_util.hpp"
 #include "kernels/bfs_emu.hpp"
 #include "kernels/bfs_xeon.hpp"
+#include "sweep_pool.hpp"
 
 using namespace emusim;
 
@@ -42,49 +43,58 @@ int main(int argc, char** argv) {
     cases.push_back({"rmat", std::move(g), hub});
   }
 
-  double x = 0;
+  // Configs recorded on the main thread before any job runs, so the
+  // fingerprint matches the serial binary; the graphs are shared read-only.
   for (const auto& c : cases) {
-    const double edges = static_cast<double>(c.g.num_directed_edges());
     h.config(std::string(c.name) + "_directed_edges",
              static_cast<long long>(c.g.num_directed_edges()));
+  }
 
-    kernels::BfsEmuParams p;
-    p.g = &c.g;
-    p.source = c.source;
-    const auto hw = bench::repeated(h, [&] {
-      return kernels::run_bfs_emu(emu::SystemConfig::chick_hw(), p);
-    });
-    const auto full = bench::repeated(h, [&] {
-      return kernels::run_bfs_emu(emu::SystemConfig::chick_fullspeed(), p);
-    });
-    kernels::BfsXeonParams xp;
-    xp.g = &c.g;
-    xp.source = c.source;
-    xp.threads = 16;
-    const auto xr = bench::repeated(h, [&] {
-      return kernels::run_bfs_xeon(xeon::SystemConfig::sandy_bridge(), xp);
-    });
-    if (!hw.verified || !full.verified || !xr.verified) {
-      h.fail(std::string("BFS verification failed on ") + c.name);
-    }
+  bench::SweepPool pool(h);
+  double x = 0;
+  for (const auto& c : cases) {
+    pool.submit([&h, &c, x](bench::PointSink& sink) {
+      const double edges = static_cast<double>(c.g.num_directed_edges());
 
-    if (h.enabled("chick_hw")) {
-      h.add_labeled("chick_hw", c.name, x, hw.mteps,
-                    {{"levels", static_cast<double>(hw.levels)},
-                     {"migrations_per_edge",
-                      static_cast<double>(hw.migrations) / edges},
-                     {"sim_ms", to_seconds(hw.elapsed) * 1e3}});
-    }
-    if (h.enabled("chick_fullspeed")) {
-      h.add_labeled("chick_fullspeed", c.name, x, full.mteps,
-                    {{"levels", static_cast<double>(full.levels)},
-                     {"sim_ms", to_seconds(full.elapsed) * 1e3}});
-    }
-    if (h.enabled("xeon16")) {
-      h.add_labeled("xeon16", c.name, x, xr.mteps,
-                    {{"sim_ms", to_seconds(xr.elapsed) * 1e3}});
-    }
+      kernels::BfsEmuParams p;
+      p.g = &c.g;
+      p.source = c.source;
+      const auto hw = bench::repeated(h, [&] {
+        return kernels::run_bfs_emu(emu::SystemConfig::chick_hw(), p);
+      });
+      const auto full = bench::repeated(h, [&] {
+        return kernels::run_bfs_emu(emu::SystemConfig::chick_fullspeed(), p);
+      });
+      kernels::BfsXeonParams xp;
+      xp.g = &c.g;
+      xp.source = c.source;
+      xp.threads = 16;
+      const auto xr = bench::repeated(h, [&] {
+        return kernels::run_bfs_xeon(xeon::SystemConfig::sandy_bridge(), xp);
+      });
+      if (!hw.verified || !full.verified || !xr.verified) {
+        sink.fail(std::string("BFS verification failed on ") + c.name);
+      }
+
+      if (h.enabled("chick_hw")) {
+        sink.add_labeled("chick_hw", c.name, x, hw.mteps,
+                         {{"levels", static_cast<double>(hw.levels)},
+                          {"migrations_per_edge",
+                           static_cast<double>(hw.migrations) / edges},
+                          {"sim_ms", to_seconds(hw.elapsed) * 1e3}});
+      }
+      if (h.enabled("chick_fullspeed")) {
+        sink.add_labeled("chick_fullspeed", c.name, x, full.mteps,
+                         {{"levels", static_cast<double>(full.levels)},
+                          {"sim_ms", to_seconds(full.elapsed) * 1e3}});
+      }
+      if (h.enabled("xeon16")) {
+        sink.add_labeled("xeon16", c.name, x, xr.mteps,
+                         {{"sim_ms", to_seconds(xr.elapsed) * 1e3}});
+      }
+    });
     x += 1;
   }
+  pool.wait();
   return h.done();
 }

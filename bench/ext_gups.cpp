@@ -8,6 +8,7 @@
 
 #include "bench_util.hpp"
 #include "kernels/gups.hpp"
+#include "sweep_pool.hpp"
 
 using namespace emusim;
 
@@ -25,33 +26,42 @@ int main(int argc, char** argv) {
   h.config("table_words", static_cast<long long>(p.table_words));
   h.config("updates", static_cast<long long>(p.updates));
 
+  bench::SweepPool pool(h);
   if (h.enabled("emu")) {
     for (int threads : h.quick() ? std::vector<int>{64}
                                  : std::vector<int>{64, 256, 512}) {
-      p.threads = threads;
-      const auto r = bench::repeated(h, [&] {
-        return kernels::run_gups_emu(emu::SystemConfig::chick_hw(), p);
+      kernels::GupsParams pe = p;
+      pe.threads = threads;
+      pool.submit([&h, pe, threads](bench::PointSink& sink) {
+        const auto r = bench::repeated(h, [&] {
+          return kernels::run_gups_emu(emu::SystemConfig::chick_hw(), pe);
+        });
+        if (!r.verified) sink.fail("emu GUPS verification failed");
+        sink.add("emu", threads, r.giga_updates_per_sec,
+                 {{"mb_per_sec", r.mb_per_sec},
+                  {"migrations", static_cast<double>(r.migrations)},
+                  {"sim_ms", to_seconds(r.elapsed) * 1e3}});
       });
-      if (!r.verified) h.fail("emu GUPS verification failed");
-      h.add("emu", threads, r.giga_updates_per_sec,
-            {{"mb_per_sec", r.mb_per_sec},
-             {"migrations", static_cast<double>(r.migrations)},
-             {"sim_ms", to_seconds(r.elapsed) * 1e3}});
     }
   }
 
   if (h.enabled("xeon")) {
     for (int threads : h.quick() ? std::vector<int>{16}
                                  : std::vector<int>{8, 16, 32}) {
-      p.threads = threads;
-      const auto r = bench::repeated(h, [&] {
-        return kernels::run_gups_xeon(xeon::SystemConfig::sandy_bridge(), p);
+      kernels::GupsParams px = p;
+      px.threads = threads;
+      pool.submit([&h, px, threads](bench::PointSink& sink) {
+        const auto r = bench::repeated(h, [&] {
+          return kernels::run_gups_xeon(xeon::SystemConfig::sandy_bridge(),
+                                        px);
+        });
+        if (!r.verified) sink.fail("xeon GUPS verification failed");
+        sink.add("xeon", threads, r.giga_updates_per_sec,
+                 {{"mb_per_sec", r.mb_per_sec},
+                  {"sim_ms", to_seconds(r.elapsed) * 1e3}});
       });
-      if (!r.verified) h.fail("xeon GUPS verification failed");
-      h.add("xeon", threads, r.giga_updates_per_sec,
-            {{"mb_per_sec", r.mb_per_sec},
-             {"sim_ms", to_seconds(r.elapsed) * 1e3}});
     }
   }
+  pool.wait();
   return h.done();
 }

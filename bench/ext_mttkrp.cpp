@@ -8,6 +8,7 @@
 
 #include "bench_util.hpp"
 #include "kernels/mttkrp.hpp"
+#include "sweep_pool.hpp"
 
 using namespace emusim;
 
@@ -25,49 +26,56 @@ int main(int argc, char** argv) {
   h.table("Extension: mode-0 MTTKRP, " + std::to_string(x.nnz()) +
           " nonzeros, dims " + std::to_string(dim) + "^3");
 
+  bench::SweepPool pool(h);
   for (int rank : h.quick() ? std::vector<int>{8}
                             : std::vector<int>{4, 8, 16}) {
-    kernels::MttkrpEmuParams ep;
-    ep.x = &x;
-    ep.rank = rank;
-    ep.layout = kernels::MttkrpLayout::one_d;
-    const auto one = bench::repeated(h, [&] {
-      return kernels::run_mttkrp_emu(emu::SystemConfig::chick_hw(), ep);
-    });
-    kernels::MttkrpEmuParams ep2 = ep;
-    ep2.layout = kernels::MttkrpLayout::two_d;
-    const auto two = bench::repeated(h, [&] {
-      return kernels::run_mttkrp_emu(emu::SystemConfig::chick_hw(), ep2);
-    });
+    // The tensor lives on the main thread for the whole sweep; jobs only
+    // read it.
+    pool.submit([&h, &x, rank](bench::PointSink& sink) {
+      kernels::MttkrpEmuParams ep;
+      ep.x = &x;
+      ep.rank = rank;
+      ep.layout = kernels::MttkrpLayout::one_d;
+      const auto one = bench::repeated(h, [&] {
+        return kernels::run_mttkrp_emu(emu::SystemConfig::chick_hw(), ep);
+      });
+      kernels::MttkrpEmuParams ep2 = ep;
+      ep2.layout = kernels::MttkrpLayout::two_d;
+      const auto two = bench::repeated(h, [&] {
+        return kernels::run_mttkrp_emu(emu::SystemConfig::chick_hw(), ep2);
+      });
 
-    kernels::MttkrpXeonParams xp;
-    xp.x = &x;
-    xp.rank = rank;
-    xp.threads = 56;
-    const auto hw = bench::repeated(h, [&] {
-      return kernels::run_mttkrp_xeon(xeon::SystemConfig::haswell(), xp);
-    });
+      kernels::MttkrpXeonParams xp;
+      xp.x = &x;
+      xp.rank = rank;
+      xp.threads = 56;
+      const auto hw = bench::repeated(h, [&] {
+        return kernels::run_mttkrp_xeon(xeon::SystemConfig::haswell(), xp);
+      });
 
-    if (!one.verified || !two.verified || !hw.verified) {
-      h.fail("MTTKRP verification failed (rank " + std::to_string(rank) + ")");
-    }
-    if (h.enabled("emu_1d")) {
-      h.add("emu_1d", rank, one.mflops,
-            {{"mb_per_sec", one.mb_per_sec},
-             {"migrations", static_cast<double>(one.migrations)},
-             {"sim_ms", to_seconds(one.elapsed) * 1e3}});
-    }
-    if (h.enabled("emu_2d")) {
-      h.add("emu_2d", rank, two.mflops,
-            {{"mb_per_sec", two.mb_per_sec},
-             {"migrations", static_cast<double>(two.migrations)},
-             {"sim_ms", to_seconds(two.elapsed) * 1e3}});
-    }
-    if (h.enabled("haswell")) {
-      h.add("haswell", rank, hw.mflops,
-            {{"mb_per_sec", hw.mb_per_sec},
-             {"sim_ms", to_seconds(hw.elapsed) * 1e3}});
-    }
+      if (!one.verified || !two.verified || !hw.verified) {
+        sink.fail("MTTKRP verification failed (rank " + std::to_string(rank) +
+                  ")");
+      }
+      if (h.enabled("emu_1d")) {
+        sink.add("emu_1d", rank, one.mflops,
+                 {{"mb_per_sec", one.mb_per_sec},
+                  {"migrations", static_cast<double>(one.migrations)},
+                  {"sim_ms", to_seconds(one.elapsed) * 1e3}});
+      }
+      if (h.enabled("emu_2d")) {
+        sink.add("emu_2d", rank, two.mflops,
+                 {{"mb_per_sec", two.mb_per_sec},
+                  {"migrations", static_cast<double>(two.migrations)},
+                  {"sim_ms", to_seconds(two.elapsed) * 1e3}});
+      }
+      if (h.enabled("haswell")) {
+        sink.add("haswell", rank, hw.mflops,
+                 {{"mb_per_sec", hw.mb_per_sec},
+                  {"sim_ms", to_seconds(hw.elapsed) * 1e3}});
+      }
+    });
   }
+  pool.wait();
   return h.done();
 }

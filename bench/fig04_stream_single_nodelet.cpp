@@ -8,6 +8,7 @@
 
 #include "bench_util.hpp"
 #include "kernels/stream_emu.hpp"
+#include "sweep_pool.hpp"
 
 using namespace emusim;
 using kernels::SpawnStrategy;
@@ -24,21 +25,25 @@ int main(int argc, char** argv) {
 
   const SpawnStrategy strategies[2] = {SpawnStrategy::serial_spawn,
                                        SpawnStrategy::recursive_spawn};
+  bench::SweepPool pool(h);
   for (int t : {1, 2, 4, 8, 16, 24, 32, 48, 64}) {
     for (auto s : strategies) {
       if (!h.enabled(kernels::to_string(s))) continue;
-      StreamParams p;
-      p.n = n;
-      p.threads = t;
-      p.strategy = s;
-      p.across = 1;  // single nodelet
-      const auto r =
-          bench::repeated(h, [&] { return kernels::run_stream_add(cfg, p); });
-      if (!r.verified) h.fail("STREAM verification failed");
-      h.add(kernels::to_string(s), t, r.mb_per_sec,
-            {{"sim_ms", to_seconds(r.elapsed) * 1e3},
-             {"migrations", static_cast<double>(r.migrations)}});
+      pool.submit([&h, &cfg, n, t, s](bench::PointSink& sink) {
+        StreamParams p;
+        p.n = n;
+        p.threads = t;
+        p.strategy = s;
+        p.across = 1;  // single nodelet
+        const auto r = bench::repeated(
+            h, [&] { return kernels::run_stream_add(cfg, p); });
+        if (!r.verified) sink.fail("STREAM verification failed");
+        sink.add(kernels::to_string(s), t, r.mb_per_sec,
+                 {{"sim_ms", to_seconds(r.elapsed) * 1e3},
+                  {"migrations", static_cast<double>(r.migrations)}});
+      });
     }
   }
+  pool.wait();
   return h.done();
 }

@@ -9,6 +9,7 @@
 
 #include "bench_util.hpp"
 #include "kernels/stream_emu.hpp"
+#include "sweep_pool.hpp"
 
 using namespace emusim;
 using kernels::SpawnStrategy;
@@ -30,20 +31,24 @@ int main(int argc, char** argv) {
   const std::vector<int> thread_counts =
       h.quick() ? std::vector<int>{8, 64, 256}
                 : std::vector<int>{8, 16, 32, 64, 128, 256, 384, 512};
+  bench::SweepPool pool(h);
   for (int t : thread_counts) {
     for (auto s : strategies) {
       if (!h.enabled(kernels::to_string(s))) continue;
-      StreamParams p;
-      p.n = n;
-      p.threads = t;
-      p.strategy = s;
-      const auto r =
-          bench::repeated(h, [&] { return kernels::run_stream_add(cfg, p); });
-      if (!r.verified) h.fail("STREAM verification failed");
-      h.add(kernels::to_string(s), t, r.mb_per_sec,
-            {{"sim_ms", to_seconds(r.elapsed) * 1e3},
-             {"migrations", static_cast<double>(r.migrations)}});
+      pool.submit([&h, &cfg, n, t, s](bench::PointSink& sink) {
+        StreamParams p;
+        p.n = n;
+        p.threads = t;
+        p.strategy = s;
+        const auto r = bench::repeated(
+            h, [&] { return kernels::run_stream_add(cfg, p); });
+        if (!r.verified) sink.fail("STREAM verification failed");
+        sink.add(kernels::to_string(s), t, r.mb_per_sec,
+                 {{"sim_ms", to_seconds(r.elapsed) * 1e3},
+                  {"migrations", static_cast<double>(r.migrations)}});
+      });
     }
   }
+  pool.wait();
   return h.done();
 }

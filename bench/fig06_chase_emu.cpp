@@ -11,6 +11,7 @@
 
 #include "bench_util.hpp"
 #include "kernels/chase_emu.hpp"
+#include "sweep_pool.hpp"
 
 using namespace emusim;
 using kernels::ChaseEmuParams;
@@ -32,7 +33,8 @@ int main(int argc, char** argv) {
                 : std::vector<std::size_t>{1, 2, 4, 8, 16, 32, 64, 128, 256,
                                            512};
 
-  auto run = [&](std::size_t block, int threads, ShuffleMode mode) {
+  auto run = [&h, &cfg, n](bench::PointSink& sink, std::size_t block,
+                           int threads, ShuffleMode mode) {
     ChaseEmuParams p;
     p.n = n;
     p.block = block;
@@ -40,29 +42,34 @@ int main(int argc, char** argv) {
     p.mode = mode;
     const auto r =
         bench::repeated(h, [&] { return kernels::run_chase_emu(cfg, p); });
-    if (!r.verified) h.fail("chase verification failed");
+    if (!r.verified) sink.fail("chase verification failed");
     return r;
   };
 
-  h.table(
+  bench::SweepPool pool(h);
+  const std::string table_a =
       "Fig 6a: Pointer chasing, Emu chick_hw, 8 nodelets, "
-      "full_block_shuffle — MB/s vs block size");
+      "full_block_shuffle — MB/s vs block size";
   for (std::size_t b : blocks) {
     for (int t : thread_counts) {
       const std::string series = "t" + std::to_string(t);
       if (!h.enabled(series)) continue;
       if (n / b < static_cast<std::size_t>(t)) continue;
-      const auto r = run(b, t, ShuffleMode::full_block_shuffle);
-      h.add(series, static_cast<double>(b), r.mb_per_sec,
-            {{"sim_ms", to_seconds(r.elapsed) * 1e3},
-             {"migrations_per_element", r.migrations_per_element}});
+      pool.submit([&run, table_a, series, b, t](bench::PointSink& sink) {
+        sink.table(table_a);
+        const auto r = run(sink, b, t, ShuffleMode::full_block_shuffle);
+        sink.add(series, static_cast<double>(b), r.mb_per_sec,
+                 {{"sim_ms", to_seconds(r.elapsed) * 1e3},
+                  {"migrations_per_element", r.migrations_per_element}});
+      });
     }
   }
 
   const int top_threads = h.quick() ? 64 : 512;
   h.config("top_threads", static_cast<long long>(top_threads));
-  h.table("Fig 6b: Pointer chasing, Emu chick_hw, top threads — MB/s by "
-          "shuffle mode");
+  const std::string table_b =
+      "Fig 6b: Pointer chasing, Emu chick_hw, top threads — MB/s by "
+      "shuffle mode";
   const ShuffleMode modes[3] = {ShuffleMode::intra_block_shuffle,
                                 ShuffleMode::block_shuffle,
                                 ShuffleMode::full_block_shuffle};
@@ -70,11 +77,16 @@ int main(int argc, char** argv) {
     if (n / b < static_cast<std::size_t>(top_threads)) continue;
     for (auto mode : modes) {
       if (!h.enabled(to_string(mode))) continue;
-      const auto r = run(b, top_threads, mode);
-      h.add(to_string(mode), static_cast<double>(b), r.mb_per_sec,
-            {{"sim_ms", to_seconds(r.elapsed) * 1e3},
-             {"migrations_per_element", r.migrations_per_element}});
+      pool.submit(
+          [&run, table_b, b, top_threads, mode](bench::PointSink& sink) {
+            sink.table(table_b);
+            const auto r = run(sink, b, top_threads, mode);
+            sink.add(to_string(mode), static_cast<double>(b), r.mb_per_sec,
+                     {{"sim_ms", to_seconds(r.elapsed) * 1e3},
+                      {"migrations_per_element", r.migrations_per_element}});
+          });
     }
   }
+  pool.wait();
   return h.done();
 }

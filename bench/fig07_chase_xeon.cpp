@@ -11,6 +11,7 @@
 
 #include "bench_util.hpp"
 #include "kernels/chase_xeon.hpp"
+#include "sweep_pool.hpp"
 
 using namespace emusim;
 using kernels::ChaseXeonParams;
@@ -36,7 +37,8 @@ int main(int argc, char** argv) {
           : std::vector<std::size_t>{1,   4,    16,   64,   256,  1024,
                                      4096, 16384, 65536};
 
-  auto run = [&](std::size_t block, int threads, ShuffleMode mode) {
+  auto run = [&h, &cfg, n](bench::PointSink& sink, std::size_t block,
+                           int threads, ShuffleMode mode) {
     ChaseXeonParams p;
     p.n = n;
     p.block = block;
@@ -44,7 +46,7 @@ int main(int argc, char** argv) {
     p.mode = mode;
     const auto r =
         bench::repeated(h, [&] { return kernels::run_chase_xeon(cfg, p); });
-    if (!r.verified) h.fail("chase verification failed");
+    if (!r.verified) sink.fail("chase verification failed");
     return r;
   };
   auto extras = [](const kernels::ChaseXeonResult& r) {
@@ -57,23 +59,29 @@ int main(int argc, char** argv) {
          accesses > 0 ? static_cast<double>(r.row_misses) / accesses : 0.0}};
   };
 
-  h.table(
+  bench::SweepPool pool(h);
+  const std::string table_a =
       "Fig 7a: Pointer chasing, Sandy Bridge Xeon, full_block_shuffle — "
-      "MB/s vs block size");
+      "MB/s vs block size";
   for (std::size_t b : blocks) {
     for (int t : thread_counts) {
       const std::string series = "t" + std::to_string(t);
       if (!h.enabled(series)) continue;
       if (n / b < static_cast<std::size_t>(t)) continue;
-      const auto r = run(b, t, ShuffleMode::full_block_shuffle);
-      h.add(series, static_cast<double>(b), r.mb_per_sec, extras(r));
+      pool.submit(
+          [&run, &extras, table_a, series, b, t](bench::PointSink& sink) {
+            sink.table(table_a);
+            const auto r = run(sink, b, t, ShuffleMode::full_block_shuffle);
+            sink.add(series, static_cast<double>(b), r.mb_per_sec, extras(r));
+          });
     }
   }
 
   const int top_threads = h.quick() ? 4 : 32;
   h.config("top_threads", static_cast<long long>(top_threads));
-  h.table("Fig 7b: Pointer chasing, Sandy Bridge Xeon, top threads — MB/s "
-          "by shuffle mode");
+  const std::string table_b =
+      "Fig 7b: Pointer chasing, Sandy Bridge Xeon, top threads — MB/s "
+      "by shuffle mode";
   const ShuffleMode modes[3] = {ShuffleMode::intra_block_shuffle,
                                 ShuffleMode::block_shuffle,
                                 ShuffleMode::full_block_shuffle};
@@ -81,9 +89,15 @@ int main(int argc, char** argv) {
     if (n / b < static_cast<std::size_t>(top_threads)) continue;
     for (auto mode : modes) {
       if (!h.enabled(to_string(mode))) continue;
-      const auto r = run(b, top_threads, mode);
-      h.add(to_string(mode), static_cast<double>(b), r.mb_per_sec, extras(r));
+      pool.submit([&run, &extras, table_b, b, top_threads,
+                   mode](bench::PointSink& sink) {
+        sink.table(table_b);
+        const auto r = run(sink, b, top_threads, mode);
+        sink.add(to_string(mode), static_cast<double>(b), r.mb_per_sec,
+                 extras(r));
+      });
     }
   }
+  pool.wait();
   return h.done();
 }

@@ -14,6 +14,7 @@
 #include "kernels/chase_xeon.hpp"
 #include "kernels/stream_emu.hpp"
 #include "kernels/stream_xeon.hpp"
+#include "sweep_pool.hpp"
 
 using namespace emusim;
 
@@ -56,35 +57,43 @@ int main(int argc, char** argv) {
   h.table(
       "Fig 8: Pointer-chase bandwidth (MB/s; utilization of own STREAM peak "
       "in extras), full_block_shuffle, max threads (Emu 512 / Xeon 32)");
+  bench::SweepPool pool(h);
   for (std::size_t b : blocks) {
-    kernels::ChaseEmuParams ep;
-    ep.n = emu_n;
-    ep.block = b;
-    // One chain per block at minimum: clamp threads for the largest blocks.
-    ep.threads = static_cast<int>(std::min<std::size_t>(512, emu_n / b));
-    const auto er =
-        bench::repeated(h, [&] { return kernels::run_chase_emu(emu_cfg, ep); });
+    // One job per block runs both platforms, like one serial loop body did:
+    // counter attribution and failure order stay identical.
+    pool.submit([&h, &emu_cfg, &snb_cfg, &emu_peak, &snb_peak, emu_n, xeon_n,
+                 b](bench::PointSink& sink) {
+      kernels::ChaseEmuParams ep;
+      ep.n = emu_n;
+      ep.block = b;
+      // One chain per block at minimum: clamp threads for the largest
+      // blocks.
+      ep.threads = static_cast<int>(std::min<std::size_t>(512, emu_n / b));
+      const auto er = bench::repeated(
+          h, [&] { return kernels::run_chase_emu(emu_cfg, ep); });
 
-    kernels::ChaseXeonParams xp;
-    xp.n = xeon_n;
-    xp.block = b;
-    xp.threads = 32;
-    const auto xr = bench::repeated(
-        h, [&] { return kernels::run_chase_xeon(snb_cfg, xp); });
+      kernels::ChaseXeonParams xp;
+      xp.n = xeon_n;
+      xp.block = b;
+      xp.threads = 32;
+      const auto xr = bench::repeated(
+          h, [&] { return kernels::run_chase_xeon(snb_cfg, xp); });
 
-    if (!er.verified || !xr.verified) h.fail("chase verification failed");
-    const double eu = 100.0 * er.mb_per_sec / emu_peak.mb_per_sec;
-    const double xu = 100.0 * xr.mb_per_sec / snb_peak.mb_per_sec;
-    if (h.enabled("emu")) {
-      h.add("emu", static_cast<double>(b), er.mb_per_sec,
-            {{"utilization_pct", eu},
-             {"sim_ms", to_seconds(er.elapsed) * 1e3}});
-    }
-    if (h.enabled("xeon")) {
-      h.add("xeon", static_cast<double>(b), xr.mb_per_sec,
-            {{"utilization_pct", xu},
-             {"sim_ms", to_seconds(xr.elapsed) * 1e3}});
-    }
+      if (!er.verified || !xr.verified) sink.fail("chase verification failed");
+      const double eu = 100.0 * er.mb_per_sec / emu_peak.mb_per_sec;
+      const double xu = 100.0 * xr.mb_per_sec / snb_peak.mb_per_sec;
+      if (h.enabled("emu")) {
+        sink.add("emu", static_cast<double>(b), er.mb_per_sec,
+                 {{"utilization_pct", eu},
+                  {"sim_ms", to_seconds(er.elapsed) * 1e3}});
+      }
+      if (h.enabled("xeon")) {
+        sink.add("xeon", static_cast<double>(b), xr.mb_per_sec,
+                 {{"utilization_pct", xu},
+                  {"sim_ms", to_seconds(xr.elapsed) * 1e3}});
+      }
+    });
   }
+  pool.wait();
   return h.done();
 }

@@ -12,6 +12,7 @@
 #include "bench_util.hpp"
 #include "kernels/spmv_emu.hpp"
 #include "kernels/spmv_xeon.hpp"
+#include "sweep_pool.hpp"
 
 using namespace emusim;
 using kernels::SpmvEmuParams;
@@ -31,54 +32,63 @@ int main(int argc, char** argv) {
       h.quick() ? std::vector<std::size_t>{25, 100}
                 : std::vector<std::size_t>{25, 50, 100, 150, 200, 400, 800};
 
-  h.table(
+  bench::SweepPool pool(h);
+  const std::string table_a =
       "Fig 9a: SpMV effective bandwidth, Emu chick_hw (grain 16) — MB/s vs "
-      "Laplacian n");
+      "Laplacian n";
   const SpmvLayout layouts[3] = {SpmvLayout::local, SpmvLayout::one_d,
                                  SpmvLayout::two_d};
   for (std::size_t n : sizes) {
     for (auto layout : layouts) {
       if (!h.enabled(to_string(layout))) continue;
-      SpmvEmuParams p;
-      p.laplacian_n = n;
-      p.layout = layout;
-      p.grain = 16;
-      const auto r = bench::repeated(
-          h, [&] { return kernels::run_spmv_emu(emu_cfg, p); });
-      if (!r.verified) {
-        h.fail(std::string("emu SpMV verification failed (") +
-               to_string(layout) + " n=" + std::to_string(n) + ")");
-      }
-      h.add(to_string(layout), static_cast<double>(n), r.mb_per_sec,
-            {{"nnz", static_cast<double>(5 * n * n)},
-             {"sim_ms", to_seconds(r.elapsed) * 1e3},
-             {"migrations", static_cast<double>(r.migrations)}});
+      pool.submit(
+          [&h, &emu_cfg, table_a, n, layout](bench::PointSink& sink) {
+            sink.table(table_a);
+            SpmvEmuParams p;
+            p.laplacian_n = n;
+            p.layout = layout;
+            p.grain = 16;
+            const auto r = bench::repeated(
+                h, [&] { return kernels::run_spmv_emu(emu_cfg, p); });
+            if (!r.verified) {
+              sink.fail(std::string("emu SpMV verification failed (") +
+                        to_string(layout) + " n=" + std::to_string(n) + ")");
+            }
+            sink.add(to_string(layout), static_cast<double>(n), r.mb_per_sec,
+                     {{"nnz", static_cast<double>(5 * n * n)},
+                      {"sim_ms", to_seconds(r.elapsed) * 1e3},
+                      {"migrations", static_cast<double>(r.migrations)}});
+          });
     }
   }
 
-  h.table(
+  const std::string table_b =
       "Fig 9b: SpMV effective bandwidth, Haswell Xeon (56 threads) — MB/s "
-      "vs Laplacian n");
+      "vs Laplacian n";
   const SpmvXeonImpl impls[3] = {SpmvXeonImpl::mkl, SpmvXeonImpl::cilk_for,
                                  SpmvXeonImpl::cilk_spawn};
   for (std::size_t n : sizes) {
     for (auto impl : impls) {
       if (!h.enabled(to_string(impl))) continue;
-      SpmvXeonParams p;
-      p.laplacian_n = n;
-      p.impl = impl;
-      p.threads = 56;
-      p.grain = 16384;
-      const auto r = bench::repeated(
-          h, [&] { return kernels::run_spmv_xeon(cpu_cfg, p); });
-      if (!r.verified) {
-        h.fail(std::string("xeon SpMV verification failed (") +
-               to_string(impl) + " n=" + std::to_string(n) + ")");
-      }
-      h.add(to_string(impl), static_cast<double>(n), r.mb_per_sec,
-            {{"nnz", static_cast<double>(5 * n * n)},
-             {"sim_ms", to_seconds(r.elapsed) * 1e3}});
+      pool.submit([&h, &cpu_cfg, table_b, n, impl](bench::PointSink& sink) {
+        sink.table(table_b);
+        SpmvXeonParams p;
+        p.laplacian_n = n;
+        p.impl = impl;
+        p.threads = 56;
+        p.grain = 16384;
+        const auto r = bench::repeated(
+            h, [&] { return kernels::run_spmv_xeon(cpu_cfg, p); });
+        if (!r.verified) {
+          sink.fail(std::string("xeon SpMV verification failed (") +
+                    to_string(impl) + " n=" + std::to_string(n) + ")");
+        }
+        sink.add(to_string(impl), static_cast<double>(n), r.mb_per_sec,
+                 {{"nnz", static_cast<double>(5 * n * n)},
+                  {"sim_ms", to_seconds(r.elapsed) * 1e3}});
+      });
     }
   }
+  pool.wait();
   return h.done();
 }

@@ -11,6 +11,7 @@
 
 #include "bench_util.hpp"
 #include "kernels/chase_emu.hpp"
+#include "sweep_pool.hpp"
 
 using namespace emusim;
 using kernels::ChaseEmuParams;
@@ -36,22 +37,26 @@ int main(int argc, char** argv) {
       h.quick() ? std::vector<std::size_t>{1, 16, 64}
                 : std::vector<std::size_t>{1, 4, 16, 64, 128, 256, 512};
 
+  bench::SweepPool pool(h);
   for (std::size_t b : blocks) {
     for (int t : thread_counts) {
       const std::string series = "t" + std::to_string(t);
       if (!h.enabled(series)) continue;
       if (n / b < static_cast<std::size_t>(t)) continue;
-      ChaseEmuParams p;
-      p.n = n;
-      p.block = b;
-      p.threads = t;
-      const auto r =
-          bench::repeated(h, [&] { return kernels::run_chase_emu(cfg, p); });
-      if (!r.verified) h.fail("chase verification failed");
-      h.add(series, static_cast<double>(b), r.mb_per_sec,
-            {{"sim_ms", to_seconds(r.elapsed) * 1e3},
-             {"migrations_per_element", r.migrations_per_element}});
+      pool.submit([&h, &cfg, series, n, b, t](bench::PointSink& sink) {
+        ChaseEmuParams p;
+        p.n = n;
+        p.block = b;
+        p.threads = t;
+        const auto r = bench::repeated(
+            h, [&] { return kernels::run_chase_emu(cfg, p); });
+        if (!r.verified) sink.fail("chase verification failed");
+        sink.add(series, static_cast<double>(b), r.mb_per_sec,
+                 {{"sim_ms", to_seconds(r.elapsed) * 1e3},
+                  {"migrations_per_element", r.migrations_per_element}});
+      });
     }
   }
+  pool.wait();
   return h.done();
 }

@@ -3,7 +3,16 @@
 namespace emusim::emu {
 
 namespace {
-MachineObserver* g_machine_observer = nullptr;
+// Thread-local: the parallel sweep runner (bench/sweep_pool.hpp) installs a
+// per-job observer on its worker thread, so observation never crosses
+// threads and workers cannot see each other's machines.
+thread_local MachineObserver* g_machine_observer = nullptr;
+
+// Per-thread event-storage hint fed back from finished machines: a sweep
+// reusing one worker thread for same-shaped points pre-sizes the next
+// Engine to the largest footprint seen so far (a stable fixed point — see
+// sim::Engine::footprint()).
+thread_local std::size_t g_engine_footprint_hint = 0;
 }  // namespace
 
 MachineObserver* set_machine_observer(MachineObserver* obs) {
@@ -33,6 +42,7 @@ std::uint64_t Nodelet::allocate(std::uint64_t bytes, std::uint64_t align) {
 Machine::Machine(const SystemConfig& cfg)
     : cfg_(cfg), cycle_(cfg.cycle()) {
   EMUSIM_CHECK(cfg.nodes >= 1 && cfg.nodelets_per_node >= 1);
+  if (g_engine_footprint_hint > 0) eng_.reserve(g_engine_footprint_hint);
   EMUSIM_CHECK(cfg.gcs_per_nodelet >= 1 && cfg.threadlet_slots_per_gc >= 1);
   for (int n = 0; n < cfg.nodes; ++n) {
     nodes_.emplace_back(eng_, cfg_);
@@ -48,6 +58,9 @@ Machine::~Machine() {
   // the machine's final simulated time as the run's elapsed time.
   if (g_machine_observer != nullptr) {
     g_machine_observer->machine_finished(*this, eng_.now());
+  }
+  if (eng_.footprint() > g_engine_footprint_hint) {
+    g_engine_footprint_hint = eng_.footprint();
   }
 }
 

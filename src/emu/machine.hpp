@@ -134,10 +134,13 @@ template <class F>
 sim::Task thread_main(Machine* m, std::unique_ptr<Context> ctx, F body);
 }
 
-/// Process-wide machine lifecycle hook, used by the observability layer
+/// Thread-local machine lifecycle hook, used by the observability layer
 /// (report/observe.hpp) to attach tracing and counter snapshots to every
 /// Machine a bench constructs — kernels build their machines internally, so
-/// flag-driven observation cannot reach them through call arguments.
+/// flag-driven observation cannot reach them through call arguments.  The
+/// hook is thread-local (not process-wide) so the parallel sweep runner
+/// (bench/sweep_pool.hpp) can observe each worker's machines independently:
+/// install on the thread that constructs the machines you want to see.
 /// Observers must outlive every Machine constructed while installed.
 class MachineObserver {
  public:
@@ -149,7 +152,8 @@ class MachineObserver {
   virtual void machine_finished(Machine&, Time /*elapsed*/) {}
 };
 
-/// Install `obs` (nullptr to uninstall); returns the previous observer.
+/// Install `obs` on the calling thread (nullptr to uninstall); returns the
+/// thread's previous observer.
 MachineObserver* set_machine_observer(MachineObserver* obs);
 MachineObserver* machine_observer();
 

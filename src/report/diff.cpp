@@ -60,9 +60,14 @@ DiffReport diff_results(const std::vector<BenchResult>& baseline,
         } else {
           e.delta_pct = cp->y == 0.0 ? 0.0 : 100.0;
         }
-        e.regression = e.delta_pct < -opt.max_regress_pct;
+        // Wall-clock-derived metrics (y_wall_clock) are reported but never
+        // gated: host throughput varies run to run, unlike simulated time.
+        e.wall_clock = base.y_wall_clock || cand->y_wall_clock;
+        e.regression = !e.wall_clock && e.delta_pct < -opt.max_regress_pct;
         if (e.regression) ++rep.regressions;
-        if (e.delta_pct > opt.max_regress_pct) ++rep.improvements;
+        if (!e.wall_clock && e.delta_pct > opt.max_regress_pct) {
+          ++rep.improvements;
+        }
         rep.entries.push_back(std::move(e));
       }
     }

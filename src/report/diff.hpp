@@ -30,6 +30,10 @@ struct DiffEntry {
   double cand_y = 0.0;
   double delta_pct = 0.0;  ///< (cand - base) / base * 100
   bool regression = false;
+  /// True when this point's y is wall-clock-derived (y_wall_clock on either
+  /// result): compared for the report, but never gated — host throughput is
+  /// not deterministic and must not fail CI against a committed baseline.
+  bool wall_clock = false;
 };
 
 struct DiffReport {

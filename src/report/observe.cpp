@@ -411,6 +411,20 @@ std::vector<Json> BenchObserver::take_pending_counters() {
   return out;
 }
 
+void BenchObserver::inject_pending(Json delta) {
+  pending_.push_back(std::move(delta));
+}
+
+void BenchObserver::offer_trace(sim::Tracer t, int num_nodelets, int runs) {
+  runs_ += runs;
+  if (num_nodelets <= 0) return;  // the other observer saw no traced run
+  const std::uint64_t observed = t.size() + t.dropped();
+  if (observed >= last_trace_.size() + last_trace_.dropped()) {
+    last_trace_ = std::move(t);
+    last_num_nodelets_ = num_nodelets;
+  }
+}
+
 bool BenchObserver::write_trace(std::string* err) const {
   if (!tracing()) {
     if (err != nullptr) *err = "no --trace path configured";

@@ -25,6 +25,7 @@
 
 #include <cstddef>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "emu/counters.hpp"
@@ -97,6 +98,22 @@ class BenchObserver final : public emu::MachineObserver {
   /// Whole-run counter deltas (as JSON) for machines finished since the
   /// last take, oldest first.  The caller labels them with phase names.
   std::vector<Json> take_pending_counters();
+
+  /// Merge support for the parallel sweep runner (bench/sweep_pool.hpp):
+  /// each job runs under its own thread-local observer, and the pool folds
+  /// those observers into the main-thread one in submission order, which
+  /// reproduces the serial fold exactly.
+
+  /// Append one counter-delta JSON as if a machine had just finished here.
+  void inject_pending(Json delta);
+  /// Fold another observer's trace: `runs` machine runs completed under it,
+  /// and `t` is the busiest of them (empty when it saw no traced machine,
+  /// signalled by num_nodelets == 0, in which case only `runs` is counted).
+  /// Same busiest-wins / ties-to-newer rule as machine_finished().
+  void offer_trace(sim::Tracer t, int num_nodelets, int runs);
+  /// Move out the retained busiest trace (for handing to offer_trace()).
+  sim::Tracer take_trace() { return std::move(last_trace_); }
+  int last_num_nodelets() const { return last_num_nodelets_; }
 
   /// Export the newest completed machine's trace to opt_.trace_path.
   /// False (with *err) on I/O failure or when no machine ran.

@@ -74,6 +74,7 @@ Json BenchResult::to_json() const {
   j.set("reps", Json::number(reps));
   j.set("wall_seconds", Json::number(wall_seconds));
   j.set("sim_seconds", Json::number(sim_seconds));
+  if (y_wall_clock) j.set("y_wall_clock", Json::boolean(true));
   j.set("fingerprint", Json::string(fingerprint));
 
   Json axes = Json::object();
@@ -130,6 +131,7 @@ bool BenchResult::from_json(const Json& j, BenchResult* out,
   r.reps = static_cast<int>(j.get_number("reps", 1));
   r.wall_seconds = j.get_number("wall_seconds");
   r.sim_seconds = j.get_number("sim_seconds");
+  r.y_wall_clock = j.get_bool("y_wall_clock");
   r.fingerprint = j.get_string("fingerprint");
   if (const Json* axes = j.find("axes"); axes != nullptr) {
     r.x_axis = axes->get_string("x");

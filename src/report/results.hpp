@@ -45,6 +45,11 @@ struct BenchResult {
   int reps = 1;
   double wall_seconds = 0.0;  ///< host wall-clock for the whole run
   double sim_seconds = 0.0;   ///< total simulated time across all points
+  /// True when the y metric itself is wall-clock-derived (host throughput,
+  /// as in micro_simcore) rather than simulated time or bandwidth.  Such
+  /// results are never deterministic, so tools/benchdiff reports but does
+  /// not gate on them.  Additive: absent in old files means false.
+  bool y_wall_clock = false;
   std::string fingerprint;    ///< hash of bench + config (see fingerprint())
   std::vector<std::pair<std::string, std::string>> config;
   std::vector<ResultSeries> series;

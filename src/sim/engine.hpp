@@ -120,6 +120,45 @@ class Engine {
   bool idle() const { return fifo_count_ == 0 && heap_.empty(); }
   std::uint64_t events_processed() const { return events_processed_; }
 
+  /// Return to a just-constructed state — time 0, empty queue, zeroed
+  /// counters — while keeping the heap / FIFO-ring / slot-pool storage.
+  /// Callers running many simulations back to back (one point of a bench
+  /// sweep each) reuse one Engine and stop re-growing the same vectors on
+  /// every run.  Pending events are dropped; parked callbacks (and any
+  /// coroutine frames they own) are destroyed, not invoked.
+  void reset() {
+    heap_.clear();
+    fifo_head_ = 0;
+    fifo_count_ = 0;
+    slots_.clear();
+    free_slots_.clear();
+    now_ = 0;
+    next_seq_ = 0;
+    events_processed_ = 0;
+  }
+
+  /// Pre-size event storage for about `events_hint` concurrently *pending*
+  /// events (peak in-flight, not total processed — a run's events_processed
+  /// is usually orders of magnitude larger than its peak queue depth).
+  /// Feed it footprint() of a previous comparable run: sweeps over
+  /// same-shaped points then allocate once instead of once per point.
+  void reserve(std::size_t events_hint) {
+    heap_.reserve(events_hint);
+    while (fifo_.size() < events_hint) fifo_grow();
+    // SmallFn slots are ~48 B each and callbacks are a small fraction of
+    // traffic; cap the speculative reservation.
+    slots_.reserve(events_hint < 4096 ? events_hint : 4096);
+  }
+
+  /// Observed peak in-flight storage (capacity-based, so tracking costs
+  /// nothing on the hot path).  Suitable as the `events_hint` for the next
+  /// run's reserve(): capacities grow geometrically, so the value is
+  /// between the true peak and twice the peak, and feeding it back through
+  /// reserve() reaches a fixed point instead of ratcheting upward.
+  std::size_t footprint() const {
+    return heap_.capacity() > fifo_.size() ? heap_.capacity() : fifo_.size();
+  }
+
   /// Awaitable: suspend the current coroutine for `delay` simulated time.
   /// A delay of zero still round-trips through the event queue — via the
   /// FIFO fast lane — which is useful for yielding fairly to other ready

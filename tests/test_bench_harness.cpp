@@ -76,6 +76,31 @@ TEST(ParseOptions, RejectsBadRepsValues) {
   }
 }
 
+TEST(ParseOptions, ParsesJobs) {
+  Argv a({"--jobs", "8"});
+  Options opt;
+  std::string err;
+  ASSERT_TRUE(parse_options(a.argc(), a.argv(), &opt, &err)) << err;
+  EXPECT_EQ(opt.jobs, 8);
+}
+
+TEST(ParseOptions, JobsDefaultsToAuto) {
+  Argv a({});
+  Options opt;
+  std::string err;
+  ASSERT_TRUE(parse_options(a.argc(), a.argv(), &opt, &err)) << err;
+  EXPECT_EQ(opt.jobs, 0);  // 0 = pick hardware_concurrency at run time
+}
+
+TEST(ParseOptions, RejectsBadJobsValues) {
+  for (const char* jobs : {"0", "-4", "abc", "2000"}) {
+    Argv a({"--jobs", jobs});
+    Options opt;
+    std::string err;
+    EXPECT_FALSE(parse_options(a.argc(), a.argv(), &opt, &err)) << jobs;
+  }
+}
+
 TEST(ParseOptions, RejectsBarePositionalArgument) {
   Argv a({"stray"});
   Options opt;
@@ -170,8 +195,8 @@ TEST(Usage, MentionsEveryFlag) {
   EXPECT_NE(u.find("usage:"), std::string::npos);
   EXPECT_NE(u.find("some_bench"), std::string::npos);
   for (const char* flag :
-       {"--csv", "--json", "--quick", "--filter", "--reps", "--trace",
-        "--trace-cap", "--counters", "--help"}) {
+       {"--csv", "--json", "--quick", "--filter", "--reps", "--jobs",
+        "--trace", "--trace-cap", "--counters", "--help"}) {
     EXPECT_NE(u.find(flag), std::string::npos) << flag;
   }
 }

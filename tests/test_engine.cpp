@@ -18,6 +18,72 @@ TEST(Engine, StartsAtZeroAndIdle) {
   EXPECT_FALSE(eng.step());
 }
 
+TEST(Engine, ResetReturnsToPristineState) {
+  Engine eng;
+  int fired = 0;
+  eng.call_at(ns(10), [&] { ++fired; });
+  eng.call_at(ns(20), [&] { ++fired; });
+  eng.run();
+  EXPECT_EQ(fired, 2);
+  eng.call_at(ns(99), [&] { ++fired; });  // pending at reset: must be dropped
+  eng.reset();
+  EXPECT_EQ(eng.now(), 0);
+  EXPECT_TRUE(eng.idle());
+  EXPECT_EQ(eng.events_processed(), 0u);
+  eng.call_at(ns(5), [&] { ++fired; });
+  eng.run();
+  EXPECT_EQ(fired, 3);  // the pre-reset pending callback never ran
+  EXPECT_EQ(eng.now(), ns(5));
+}
+
+TEST(Engine, ResetKeepsDeterministicOrdering) {
+  // A reused engine must replay the exact event order of a fresh one —
+  // this is what lets sweep workers recycle engines between points.
+  auto run_once = [](Engine& eng) {
+    std::vector<int> order;
+    for (int i = 0; i < 50; ++i) {
+      eng.call_at(ns(static_cast<long long>(i % 7)),
+                  [&order, i] { order.push_back(i); });
+    }
+    eng.run();
+    return order;
+  };
+  Engine fresh;
+  const auto want = run_once(fresh);
+  Engine reused;
+  run_once(reused);
+  reused.reset();
+  EXPECT_EQ(run_once(reused), want);
+}
+
+TEST(Engine, ReserveGrowsFootprintUpFront) {
+  Engine eng;
+  eng.reserve(4096);
+  const std::size_t before = eng.footprint();
+  EXPECT_GE(before, 4096u);
+  // A workload within the hint must not grow the footprint further.
+  for (int i = 0; i < 4096; ++i) {
+    eng.call_at(static_cast<Time>(i), [] {});
+  }
+  eng.run();
+  EXPECT_EQ(eng.footprint(), before);
+}
+
+TEST(Engine, FootprintIsAStableReuseHint) {
+  // Feeding an engine's own footprint back through reserve() must reach a
+  // fixed point: footprint(reserve(footprint())) == footprint().
+  Engine first;
+  for (int i = 0; i < 1000; ++i) {
+    first.call_at(static_cast<Time>(i % 13), [] {});
+  }
+  first.run();
+  const std::size_t hint = first.footprint();
+  EXPECT_GT(hint, 0u);
+  Engine second;
+  second.reserve(hint);
+  EXPECT_EQ(second.footprint(), hint);
+}
+
 TEST(Engine, CallbacksRunInTimeOrder) {
   Engine eng;
   std::vector<int> order;

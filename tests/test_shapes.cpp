@@ -234,6 +234,49 @@ TEST(Diff, ImprovementsNeverFail) {
   EXPECT_GT(rep.improvements, 0);
 }
 
+TEST(Diff, WallClockResultsNeverGate) {
+  // A bench whose y metric is host wall clock (micro_simcore) varies run
+  // to run; benchdiff must report its deltas but never gate on them — in
+  // either direction, and regardless of which side carries the marker.
+  const std::vector<BenchResult> base = {sample_result()};
+  std::vector<BenchResult> cand = base;
+  cand[0].y_wall_clock = true;
+  for (auto& s : cand[0].series) {
+    for (auto& p : s.points) p.y *= 0.5;  // -50%: far past any tolerance
+  }
+  DiffOptions opt;
+  opt.max_regress_pct = 5.0;
+  const auto rep = emusim::report::diff_results(base, cand, opt);
+  EXPECT_TRUE(rep.ok(opt));
+  EXPECT_EQ(rep.regressions, 0);
+  for (const auto& e : rep.entries) {
+    EXPECT_TRUE(e.wall_clock);
+    EXPECT_FALSE(e.regression);
+  }
+
+  // Doubling shouldn't count as an improvement either — wall-clock noise
+  // must not drown out real simulated-metric improvements in the summary.
+  std::vector<BenchResult> faster = base;
+  faster[0].y_wall_clock = true;
+  for (auto& s : faster[0].series) {
+    for (auto& p : s.points) p.y *= 2.0;
+  }
+  const auto rep2 = emusim::report::diff_results(base, faster, opt);
+  EXPECT_TRUE(rep2.ok(opt));
+  EXPECT_EQ(rep2.improvements, 0);
+}
+
+TEST(Diff, WallClockMarkerRoundTripsThroughJson) {
+  BenchResult r = sample_result();
+  r.y_wall_clock = true;
+  std::string err;
+  Json j;
+  ASSERT_TRUE(Json::parse(r.to_json().dump(), &j, &err)) << err;
+  BenchResult back;
+  ASSERT_TRUE(BenchResult::from_json(j, &back, &err)) << err;
+  EXPECT_TRUE(back.y_wall_clock);
+}
+
 TEST(Diff, MissingCoverageIsAProblem) {
   const std::vector<BenchResult> base = {sample_result()};
   std::vector<BenchResult> cand = base;

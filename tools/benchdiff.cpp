@@ -111,8 +111,11 @@ int main(int argc, char** argv) {
     const std::string pt =
         e.label.empty() ? "x=" + std::to_string(e.x) : e.label;
     std::printf("%s %s/%s %s: %.4g -> %.4g (%+.2f%%)\n",
-                e.regression ? "REGRESSION" : "ok        ", e.bench.c_str(),
-                e.series.c_str(), pt.c_str(), e.base_y, e.cand_y, e.delta_pct);
+                e.regression     ? "REGRESSION"
+                : e.wall_clock   ? "wall-clock"
+                                 : "ok        ",
+                e.bench.c_str(), e.series.c_str(), pt.c_str(), e.base_y,
+                e.cand_y, e.delta_pct);
   }
   std::printf(
       "benchdiff: %zu point(s) compared, %d regression(s) (tolerance "

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Check that a bench produces identical results at --jobs 1 and --jobs N.
+
+Runs the given bench binary twice (serial and parallel), captures the JSON
+result of each, strips the host-wall-clock fields (wall_seconds, and the
+y/extras of any series marked y_wall_clock), and requires the remainder to
+be byte-identical.  This is the executable form of the sweep runner's
+guarantee: parallelism may change only how long the sweep takes, never what
+it reports.
+
+usage: check_jobs_determinism.py <bench-binary> [jobs] [extra bench args...]
+"""
+import json
+import subprocess
+import sys
+import tempfile
+import os
+
+
+def strip_wall_fields(result):
+    result.pop("wall_seconds", None)
+    if result.pop("y_wall_clock", False):
+        # Wall-clock y values (micro_simcore) are expected to vary run to
+        # run; only the sweep structure is checked for such benches.
+        for series in result.get("series", []):
+            for point in series.get("points", []):
+                point.pop("y", None)
+                point.pop("extra", None)
+    return result
+
+
+def run(binary, jobs, extra):
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        path = tmp.name
+    try:
+        cmd = [binary, "--quick", "--jobs", str(jobs), "--json", path] + extra
+        proc = subprocess.run(cmd, capture_output=True, text=True)
+        if proc.returncode != 0:
+            sys.exit(f"{' '.join(cmd)} exited {proc.returncode}:\n"
+                     f"{proc.stdout}\n{proc.stderr}")
+        with open(path) as f:
+            return strip_wall_fields(json.load(f))
+    finally:
+        os.unlink(path)
+
+
+def main():
+    if len(sys.argv) < 2:
+        sys.exit(__doc__)
+    binary = sys.argv[1]
+    jobs = int(sys.argv[2]) if len(sys.argv) > 2 else 8
+    extra = sys.argv[3:]
+    serial = run(binary, 1, extra)
+    parallel = run(binary, jobs, extra)
+    if serial != parallel:
+        a = json.dumps(serial, indent=1, sort_keys=True).splitlines()
+        b = json.dumps(parallel, indent=1, sort_keys=True).splitlines()
+        diff = [f"-{x}\n+{y}" for x, y in zip(a, b) if x != y]
+        sys.exit(f"{binary}: --jobs 1 vs --jobs {jobs} results differ "
+                 f"after stripping wall-clock fields:\n" + "\n".join(diff[:40]))
+    print(f"{os.path.basename(binary)}: --jobs 1 == --jobs {jobs} "
+          f"({len(serial.get('series', []))} series) OK")
+
+
+if __name__ == "__main__":
+    main()
