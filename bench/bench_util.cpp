@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "emu/config.hpp"
+#include "emu/machine.hpp"
 #include "report/csv.hpp"
 #include "report/observe.hpp"
 #include "report/table.hpp"
@@ -37,7 +38,7 @@ std::string format_x(const report::ResultPoint& p) {
 std::string usage(const std::string& bench_name) {
   return "usage: " + bench_name +
          " [--csv <path>] [--json <path>] [--quick] [--filter <substr>]"
-         " [--reps <n>] [--jobs <n>] [--trace <path>]"
+         " [--reps <n>] [--jobs <n>] [--engine-threads <n>] [--trace <path>]"
          " [--trace-cap <records>] [--counters] [--help]\n"
          "value flags also accept --flag=value\n";
 }
@@ -101,6 +102,10 @@ bool parse_options(int argc, char** argv, Options* out, std::string* err,
       if (!take_int(i, "--reps", 1, 1000000, &o.reps)) return false;
     } else if (std::strcmp(a, "--jobs") == 0) {
       if (!take_int(i, "--jobs", 1, 1024, &o.jobs)) return false;
+    } else if (std::strcmp(a, "--engine-threads") == 0) {
+      if (!take_int(i, "--engine-threads", 1, 1024, &o.engine_threads)) {
+        return false;
+      }
     } else if (std::strcmp(a, "--trace") == 0) {
       if (!take_value(i, "--trace", &o.trace_path)) return false;
       if (o.trace_path.empty()) {
@@ -141,6 +146,9 @@ Harness::Harness(std::string bench_name, int argc, char** argv,
   result_.bench = name_;
   result_.quick = opt_.quick;
   result_.reps = opt_.reps;
+  // Points run inline (no SweepPool) execute on this thread; SweepPool
+  // workers install the same value on themselves (sweep_pool.cpp).
+  emu::set_engine_threads(opt_.engine_threads);
   start_wall_ = wall_now();
   tables_.push_back(TableGroup{name_, 1, {}});
   if (!opt_.trace_path.empty() || opt_.counters) {

@@ -16,6 +16,12 @@
 //                    to --jobs 1 apart from wall-clock fields: points merge
 //                    into the result in submission order regardless of
 //                    completion order (bench/sweep_pool.hpp)
+//   --engine-threads <n>
+//                    run each simulation point's per-node engine shards on n
+//                    worker threads (default 1 = serial).  Like --jobs, the
+//                    output is byte-identical to serial apart from
+//                    wall-clock fields (src/sim/shard.hpp); the two flags
+//                    compose (jobs x engine-threads worker threads total)
 //   --trace <path>   export the newest simulated run as Chrome/Perfetto
 //                    trace-event JSON (load at https://ui.perfetto.dev or
 //                    summarize with tools/traceview)
@@ -62,6 +68,10 @@ struct Options {
   /// Deliberately excluded from the config fingerprint: any --jobs value
   /// produces the same simulated results.
   int jobs = 0;
+  /// Worker threads for each point's sharded engine (1 = serial).  Also
+  /// excluded from the config fingerprint: like --jobs, any value produces
+  /// the same simulated results.
+  int engine_threads = 1;
   std::string trace_path;
   int trace_cap = 1 << 16;
   bool counters = false;

@@ -1,10 +1,13 @@
 #include "sweep_pool.hpp"
 
+#include <cassert>
+#include <cstdio>
 #include <exception>
 #include <memory>
 #include <stdexcept>
 
 #include "bench_util.hpp"
+#include "emu/machine.hpp"
 #include "report/observe.hpp"
 #include "sim/random.hpp"
 
@@ -73,6 +76,16 @@ SweepPool::~SweepPool() {
   {
     std::lock_guard<std::mutex> lk(mu_);
     stop_ = true;
+    if (!slots_.empty()) {
+      // Submitted jobs that were never wait()ed still execute below (the
+      // workers drain the queue before joining), but their results are
+      // silently discarded — almost certainly a missing pool.wait().
+      std::fprintf(stderr,
+                   "SweepPool: destroyed with %zu submitted job(s) never "
+                   "wait()ed; their results are discarded\n",
+                   slots_.size());
+      assert(!"SweepPool destroyed without wait()");
+    }
   }
   cv_work_.notify_all();
   for (auto& w : workers_) w.join();
@@ -87,6 +100,10 @@ void SweepPool::submit(std::function<void(PointSink&)> job) {
 }
 
 void SweepPool::worker() {
+  // Each worker carries the harness's --engine-threads value in its own
+  // thread-local, so every machine a job constructs here runs its shards
+  // with that parallelism (emu::set_engine_threads).
+  emu::set_engine_threads(h_.opt().engine_threads);
   for (;;) {
     Slot* slot = nullptr;
     std::size_t index = 0;

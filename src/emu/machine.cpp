@@ -13,6 +13,11 @@ thread_local MachineObserver* g_machine_observer = nullptr;
 // Engine to the largest footprint seen so far (a stable fixed point — see
 // sim::Engine::footprint()).
 thread_local std::size_t g_engine_footprint_hint = 0;
+
+// Per-thread intra-point engine parallelism (see set_engine_threads()).
+// Thread-local for the same reason as the observer: each sweep worker
+// decides independently how its machines run their shards.
+thread_local int g_engine_threads = 1;
 }  // namespace
 
 MachineObserver* set_machine_observer(MachineObserver* obs) {
@@ -22,6 +27,14 @@ MachineObserver* set_machine_observer(MachineObserver* obs) {
 }
 
 MachineObserver* machine_observer() { return g_machine_observer; }
+
+int set_engine_threads(int n) {
+  const int prev = g_engine_threads;
+  g_engine_threads = n < 1 ? 1 : n;
+  return prev;
+}
+
+int engine_threads() { return g_engine_threads; }
 
 Nodelet::Nodelet(sim::Engine& eng, const SystemConfig& cfg, int index)
     : index_(index),
@@ -40,43 +53,149 @@ std::uint64_t Nodelet::allocate(std::uint64_t bytes, std::uint64_t align) {
 }
 
 Machine::Machine(const SystemConfig& cfg)
-    : cfg_(cfg), cycle_(cfg.cycle()) {
+    : cfg_(cfg),
+      set_(static_cast<std::size_t>(cfg.nodes > 0 ? cfg.nodes : 1)),
+      cycle_(cfg.cycle()),
+      next_tid_(static_cast<std::size_t>(cfg.nodes > 0 ? cfg.nodes : 1), 0) {
   EMUSIM_CHECK(cfg.nodes >= 1 && cfg.nodelets_per_node >= 1);
-  if (g_engine_footprint_hint > 0) eng_.reserve(g_engine_footprint_hint);
+  if (g_engine_footprint_hint > 0) {
+    for (int s = 0; s < num_shards(); ++s) {
+      shard_engine(s).reserve(g_engine_footprint_hint);
+    }
+  }
   EMUSIM_CHECK(cfg.gcs_per_nodelet >= 1 && cfg.threadlet_slots_per_gc >= 1);
+  if (cfg.nodes > 1) {
+    shard_stats_.resize(static_cast<std::size_t>(cfg.nodes));
+    trace_staging_.resize(static_cast<std::size_t>(cfg.nodes));
+    set_.set_window_hook(sim::SmallFn([this] { merge_trace_window(); }));
+  }
+  // Every node (and each of its nodelets) binds to its shard's engine: all
+  // of a shard's resources schedule on the shard's own queue, never on a
+  // neighbor's.
   for (int n = 0; n < cfg.nodes; ++n) {
-    nodes_.emplace_back(eng_, cfg_);
+    nodes_.emplace_back(shard_engine(n), cfg_);
   }
   for (int i = 0; i < cfg.total_nodelets(); ++i) {
-    nodelets_.emplace_back(eng_, cfg_, i);
+    nodelets_.emplace_back(shard_engine(shard_of_nodelet(i)), cfg_, i);
   }
   if (g_machine_observer != nullptr) g_machine_observer->machine_created(*this);
 }
 
 Machine::~Machine() {
   // Counters, stats, and the trace are still intact here; the observer gets
-  // the machine's final simulated time as the run's elapsed time.
+  // the machine's final simulated time as the run's elapsed time (every
+  // shard clock reads the same global final time after run_root).
   if (g_machine_observer != nullptr) {
-    g_machine_observer->machine_finished(*this, eng_.now());
+    g_machine_observer->machine_finished(*this, engine().now());
   }
-  if (eng_.footprint() > g_engine_footprint_hint) {
-    g_engine_footprint_hint = eng_.footprint();
+  for (int s = 0; s < num_shards(); ++s) {
+    if (shard_engine(s).footprint() > g_engine_footprint_hint) {
+      g_engine_footprint_hint = shard_engine(s).footprint();
+    }
   }
+}
+
+void Machine::fold_stats() {
+  if (shard_stats_.empty()) return;
+  // Rebuild the public aggregate from the per-shard blocks in shard order;
+  // the fixed order keeps the folded floating-point summaries (Welford
+  // merge) bit-reproducible.
+  stats = MachineStats{};
+  for (const MachineStats& s : shard_stats_) stats.merge_from(s);
+}
+
+void Machine::merge_trace_window() {
+  if (!trace.enabled()) return;
+  // K-way merge of the window's per-shard staging buffers by (t, shard,
+  // intra-shard order).  Each buffer is already time-ordered (a shard
+  // records at its own non-decreasing now()), so one cursor per shard
+  // suffices; windows advance monotonically, so the merged stream does too.
+  const std::size_t S = trace_staging_.size();
+  std::vector<std::size_t> cur(S, 0);
+  for (;;) {
+    int best = -1;
+    for (std::size_t s = 0; s < S; ++s) {
+      if (cur[s] >= trace_staging_[s].size()) continue;
+      if (best < 0 || trace_staging_[s][cur[s]].t <
+                          trace_staging_[static_cast<std::size_t>(best)]
+                                        [cur[static_cast<std::size_t>(best)]]
+                                            .t) {
+        best = static_cast<int>(s);
+      }
+    }
+    if (best < 0) break;
+    const sim::TraceRecord& r =
+        trace_staging_[static_cast<std::size_t>(best)]
+                      [cur[static_cast<std::size_t>(best)]++];
+    trace.record(r.t, r.kind, r.a, r.b, r.arg, r.tid);
+  }
+  for (auto& buf : trace_staging_) buf.clear();
+}
+
+void Machine::notify_child_done(Context* parent, int child_shard) {
+  const int home = parent->home_shard_;
+  if (child_shard == home) {
+    parent->note_child_done();
+    return;
+  }
+  Context* p = parent;
+  post_remote(child_shard, home,
+              shard_engine(child_shard).now() + cfg_.internode_latency,
+              sim::SmallFn([p] { p->note_child_done(); }));
 }
 
 sim::Op<> Context::atomic_fetch_remote(int nlet, std::uint64_t addr) {
   Machine& m = *machine_;
-  Nodelet& n = m.nodelet(nlet);
-  ++n.stats.atomics_in;
-  m.trace.record(engine().now(), sim::TraceKind::remote_atomic, nlet,
-                 nodelet_, 0, tid_);
-  // Request/response each ride the nodelet fabric (approximated by half a
-  // migration-engine latency each way) around the remote RMW.
-  const Time hop = m.cfg().migration_latency / 2;
-  co_await engine().sleep(hop);
-  n.channel().write(addr, 8);  // the remote read-modify-write
-  n.channel().write(addr, 8);
-  co_await engine().sleep(hop);
+  const int ds = m.shard_of_nodelet(nlet);
+  if (ds == shard_) {
+    Nodelet& n = m.nodelet(nlet);
+    ++n.stats.atomics_in;
+    m.record_trace(shard_, engine().now(), sim::TraceKind::remote_atomic, nlet,
+                   nodelet_, 0, tid_);
+    // Request/response each ride the nodelet fabric (approximated by half a
+    // migration-engine latency each way) around the remote RMW.
+    const Time hop = m.cfg().migration_latency / 2;
+    co_await engine().sleep(hop);
+    n.channel().write(addr, 8);  // the remote read-modify-write
+    n.channel().write(addr, 8);
+    co_await engine().sleep(hop);
+    co_return;
+  }
+  // Cross-node: request and response each pay the inter-node latency and
+  // the RMW (stats, trace, channel occupancy) executes on the owning shard
+  // at delivery; the issuing thread stays put and blocks for the round
+  // trip.
+  struct FetchAwaiter {
+    Context& ctx;
+    int nlet;
+    std::uint64_t addr;
+    int dst_shard;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) const {
+      Machine* m = ctx.machine_;
+      const int src_shard = ctx.shard_;
+      const std::int32_t from = ctx.nodelet_;
+      const std::int32_t t = ctx.tid_;
+      const int nl = nlet;
+      const std::uint64_t a = addr;
+      const int ds = dst_shard;
+      m->post_remote(
+          src_shard, ds, ctx.engine().now() + m->cfg().internode_latency,
+          sim::SmallFn([m, nl, from, a, t, src_shard, ds, h] {
+            Nodelet& n = m->nodelet(nl);
+            ++n.stats.atomics_in;
+            m->record_trace(ds, m->shard_engine(ds).now(),
+                            sim::TraceKind::remote_atomic, nl, from, 0, t);
+            n.channel().write(a, 8);
+            n.channel().write(a, 8);
+            m->post_wake(ds, src_shard,
+                         m->shard_engine(ds).now() + m->cfg().internode_latency,
+                         h);
+          }));
+    }
+    void await_resume() const noexcept {}
+  };
+  co_await FetchAwaiter{*this, nlet, addr, ds};
 }
 
 sim::Op<> Context::migrate_to(int dest) {
@@ -88,26 +207,26 @@ sim::Op<> Context::migrate_to(int dest) {
   const int dst_node = m.node_index_of(dest);
 
   depart();  // the context leaves the source threadlet slot immediately
-  ++m.stats.migrations;
-  m.trace.record(t0, sim::TraceKind::migrate_out, src, dest, 0, tid_);
+  ++m.shard_stats(shard_).migrations;
+  m.record_trace(shard_, t0, sim::TraceKind::migrate_out, src, dest, 0, tid_);
 
   co_await m.node(src_node).migration_engine().pass();
   if (src_node != dst_node) {
-    ++m.stats.internode_migrations;
+    ++m.shard_stats(shard_).internode_migrations;
     const Time wire =
         transfer_time(static_cast<double>(m.cfg().thread_context_bytes),
                       m.cfg().internode_bytes_per_sec);
     co_await m.node(src_node).link().access(wire);
-    co_await engine().sleep(m.cfg().internode_latency);
+    co_await fabric_hop(dst_node, m.cfg().internode_latency);
     co_await m.node(dst_node).migration_engine().pass();
   }
   co_await m.nodelet(dest).slots().acquire();
   arrive(dest);
   // b is the source *nodelet* (the header's contract); this used to record
   // the source node index, which collapses to 0 on any single-node config.
-  m.trace.record(engine().now(), sim::TraceKind::migrate_in, dest, src, 0,
-                 tid_);
-  m.stats.migration_latency_ns.add(
+  m.record_trace(shard_, engine().now(), sim::TraceKind::migrate_in, dest, src,
+                 0, tid_);
+  m.shard_stats(shard_).migration_latency_ns.add(
       static_cast<std::uint64_t>((engine().now() - t0) / kNanosecond));
 }
 

@@ -40,6 +40,7 @@
 #include "sim/engine.hpp"
 #include "sim/op.hpp"
 #include "sim/resource.hpp"
+#include "sim/shard.hpp"
 #include "sim/stats.hpp"
 #include "sim/trace.hpp"
 #include "sim/task.hpp"
@@ -127,6 +128,18 @@ struct MachineStats {
   std::uint64_t inline_spawns = 0;  ///< serial elisions (no slot free)
   std::uint64_t threads_completed = 0;
   sim::Log2Histogram migration_latency_ns;  ///< per-migration latency, ns
+
+  /// Fold another stats block into this one (per-shard stats are merged in
+  /// shard order after a sharded run).
+  void merge_from(const MachineStats& o) {
+    migrations += o.migrations;
+    internode_migrations += o.internode_migrations;
+    spawns += o.spawns;
+    remote_spawns += o.remote_spawns;
+    inline_spawns += o.inline_spawns;
+    threads_completed += o.threads_completed;
+    migration_latency_ns.merge(o.migration_latency_ns);
+  }
 };
 
 namespace detail {
@@ -157,6 +170,15 @@ class MachineObserver {
 MachineObserver* set_machine_observer(MachineObserver* obs);
 MachineObserver* machine_observer();
 
+/// Thread-local intra-point engine parallelism: how many worker threads a
+/// Machine constructed on this thread uses to run its shard engines (one
+/// shard per node; clamped to the shard count, so single-node machines are
+/// always serial).  Like the observer hook, this is thread-local so the
+/// sweep runner can compose `--jobs` (across points) with `--engine-threads`
+/// (within a point) per worker.  Returns the previous value.
+int set_engine_threads(int n);
+int engine_threads();
+
 class Machine {
  public:
   explicit Machine(const SystemConfig& cfg);
@@ -164,7 +186,12 @@ class Machine {
   Machine(const Machine&) = delete;
   Machine& operator=(const Machine&) = delete;
 
-  sim::Engine& engine() { return eng_; }
+  /// Shard 0's engine.  For single-node machines this is the one and only
+  /// engine (the serial fast path); for sharded machines it is still the
+  /// right clock to read after run_root, which synchronizes every shard to
+  /// the global final time.
+  sim::Engine& engine() { return set_.shard(0); }
+  sim::EngineSet& engines() { return set_; }
   const SystemConfig& cfg() const { return cfg_; }
   Time cycle() const { return cycle_; }
 
@@ -176,25 +203,88 @@ class Machine {
   Node& node(int i) { return nodes_[static_cast<std::size_t>(i)]; }
   Node& node_of_nodelet(int nlet) { return node(node_index_of(nlet)); }
 
+  // --- sharding (one shard per node; see sim/shard.hpp) ------------------
+
+  int num_shards() const { return static_cast<int>(set_.shards()); }
+  /// The shard that owns a nodelet's state (its engine, channel, slots,
+  /// stats): the nodelet's node.
+  int shard_of_nodelet(int nlet) const { return node_index_of(nlet); }
+  sim::Engine& shard_engine(int s) {
+    return set_.shard(static_cast<std::size_t>(s));
+  }
+  /// The stats block a shard's worker may mutate.  Single shard: the public
+  /// `stats` itself (mid-run reads stay exact); sharded: a per-shard block,
+  /// folded into `stats` at the end of every run_root.
+  MachineStats& shard_stats(int s) {
+    return shard_stats_.empty() ? stats
+                                : shard_stats_[static_cast<std::size_t>(s)];
+  }
+
+  /// Post a cross-shard delivery (applied remote write/atomic, sync
+  /// protocol message) into the windowed mailboxes; `when` must pay at
+  /// least the inter-node latency (= the window lookahead).
+  void post_remote(int src_shard, int dst_shard, Time when, sim::SmallFn fn) {
+    set_.post_call(static_cast<std::size_t>(src_shard),
+                   static_cast<std::size_t>(dst_shard), when, std::move(fn));
+  }
+  /// Post a cross-shard coroutine resumption (fabric hop, sync wake).
+  void post_wake(int src_shard, int dst_shard, Time when,
+                 std::coroutine_handle<> h) {
+    set_.post(static_cast<std::size_t>(src_shard),
+              static_cast<std::size_t>(dst_shard), when, h);
+  }
+
+  /// Route a child-completion notification to the parent's home shard (the
+  /// shard of its birth nodelet, which owns the sync bookkeeping).
+  void notify_child_done(Context* parent, int child_shard);
+
   MachineStats stats;
   /// Optional event trace (see sim/trace.hpp); call trace.enable() (or
   /// enable_ring) before run_root to capture per-nodelet event streams.
   sim::Tracer trace;
 
-  /// Next simulated thread id (monotonic per machine; stamped into trace
-  /// records so exports can follow one thread across nodelets).
-  int alloc_thread_id() { return next_thread_id_++; }
+  /// Record a trace event from shard `shard`.  Single shard: straight into
+  /// the tracer (the serial path, byte-identical to the old engine).
+  /// Sharded: into the shard's staging buffer, merged into the tracer at
+  /// every window barrier in canonical (t, shard) order.
+  void record_trace(int shard, Time t, sim::TraceKind kind, std::int32_t a,
+                    std::int32_t b = -1, std::uint64_t arg = 0,
+                    std::int32_t tid = -1) {
+    if (!trace.enabled()) return;
+    if (trace_staging_.empty()) {
+      trace.record(t, kind, a, b, arg, tid);
+      return;
+    }
+    trace_staging_[static_cast<std::size_t>(shard)].push_back(
+        sim::TraceRecord{t, kind, a, b, tid, arg});
+  }
+
+  /// Next simulated thread id.  Ids are striped by creation shard
+  /// (counter * num_shards + shard) so allocation is shard-local and
+  /// deterministic regardless of worker-thread count; a single shard
+  /// degenerates to the old monotonic sequence.  Stamped into trace records
+  /// so exports can follow one thread across nodelets.
+  int alloc_thread_id(int shard) {
+    return next_tid_[static_cast<std::size_t>(shard)]++ * num_shards() + shard;
+  }
 
   /// Launch `body` as the root threadlet on nodelet 0 and run the
   /// simulation to completion.  Returns elapsed simulated time.
   /// `body` is any callable (Context&) -> sim::Op<>.
+  ///
+  /// Multi-node machines run their shards under conservative time windows
+  /// with lookahead = the inter-node latency (the minimum latency of any
+  /// cross-shard interaction), on engine_threads() workers.  The thread
+  /// count never changes the simulation: shard structure is fixed by the
+  /// config, and cross-shard messages are merged in a canonical order.
   template <class F>
   Time run_root(F body) {
-    const Time t0 = eng_.now();
+    const Time t0 = engine().now();
     start_fabric_thread(/*birth=*/0, /*src=*/0, /*parent=*/nullptr,
                         std::move(body), /*via_fabric=*/false);
-    eng_.run();
-    return eng_.now() - t0;
+    const Time t1 = set_.run(cfg_.internode_latency, engine_threads());
+    fold_stats();
+    return t1 - t0;
   }
 
   // --- internal spawn plumbing (used by Context) -------------------------
@@ -216,12 +306,20 @@ class Machine {
   template <class F>
   friend sim::Task detail::thread_main(Machine*, std::unique_ptr<Context>, F);
 
+  /// Fold per-shard stats into the public `stats` (no-op for one shard).
+  void fold_stats();
+  /// Merge the window's per-shard trace staging into the tracer, ordered by
+  /// (t, shard, intra-shard order).  Installed as the EngineSet window hook.
+  void merge_trace_window();
+
   SystemConfig cfg_;
-  sim::Engine eng_;
+  sim::EngineSet set_;
   Time cycle_;
   std::deque<Nodelet> nodelets_;
   std::deque<Node> nodes_;
-  int next_thread_id_ = 0;
+  std::vector<int> next_tid_;               ///< per-shard tid counters
+  std::vector<MachineStats> shard_stats_;   ///< empty when single shard
+  std::vector<std::vector<sim::TraceRecord>> trace_staging_;  ///< ditto
 };
 
 /// Per-threadlet state and the timed-operation API.  Created by the spawn
@@ -233,16 +331,20 @@ class Context {
           bool has_slot)
       : machine_(&m),
         parent_(parent),
-        tid_(m.alloc_thread_id()),
+        shard_(m.shard_of_nodelet(via_fabric ? src : birth)),
+        home_shard_(m.shard_of_nodelet(birth)),
+        tid_(m.alloc_thread_id(shard_)),
         birth_nodelet_(birth),
         src_nodelet_(src),
         via_fabric_(via_fabric),
         has_slot_at_birth_(has_slot) {}
 
   Machine& machine() { return *machine_; }
-  sim::Engine& engine() { return machine_->engine(); }
+  /// The engine of the shard this thread currently executes on.
+  sim::Engine& engine() { return machine_->shard_engine(shard_); }
   const SystemConfig& cfg() const { return machine_->cfg(); }
   int nodelet() const { return nodelet_; }
+  int shard() const { return shard_; }
   int tid() const { return tid_; }
 
   /// Awaitable: execute `cycles` instructions on this thread's core.
@@ -275,7 +377,7 @@ class Context {
     const int per_core =
         (n.stats.resident + n.num_cores() - 1) / n.num_cores();
     const int competitors = per_core > 1 ? per_core : 1;
-    return Awaiter{n.core(core_).issue(), machine_->engine(), work,
+    return Awaiter{n.core(core_).issue(), engine(), work,
                    work * (competitors - 1)};
   }
 
@@ -286,7 +388,7 @@ class Context {
     Nodelet& n = machine_->nodelet(nodelet_);
     ++n.stats.reads;
     n.stats.read_bytes += bytes;
-    machine_->trace.record(engine().now(), sim::TraceKind::mem_read,
+    machine_->record_trace(shard_, engine().now(), sim::TraceKind::mem_read,
                            nodelet_, -1, bytes, tid_);
     return n.channel().read(addr, bytes);
   }
@@ -296,32 +398,89 @@ class Context {
     Nodelet& n = machine_->nodelet(nodelet_);
     ++n.stats.writes;
     n.stats.write_bytes += bytes;
-    machine_->trace.record(engine().now(), sim::TraceKind::mem_write,
+    machine_->record_trace(shard_, engine().now(), sim::TraceKind::mem_write,
                            nodelet_, -1, bytes, tid_);
     n.channel().write(addr, bytes);
   }
 
   /// Memory-side remote write: the value travels to the remote nodelet's
   /// memory-side processor; the thread does not migrate and does not wait.
+  /// Same-node targets are applied immediately (the old direct path); a
+  /// cross-node packet pays the inter-node latency and is applied by the
+  /// owning shard on arrival, so no shard ever touches another's state.
   void write_remote(int nlet, std::uint64_t addr, std::uint32_t bytes) {
-    Nodelet& n = machine_->nodelet(nlet);
-    ++n.stats.writes;
-    ++n.stats.remote_writes_in;
-    n.stats.write_bytes += bytes;
-    machine_->trace.record(engine().now(), sim::TraceKind::mem_write, nlet,
-                           nodelet_, bytes, tid_);
-    n.channel().write(addr, bytes);
+    const int ds = machine_->shard_of_nodelet(nlet);
+    if (ds == shard_) {
+      Nodelet& n = machine_->nodelet(nlet);
+      ++n.stats.writes;
+      ++n.stats.remote_writes_in;
+      n.stats.write_bytes += bytes;
+      machine_->record_trace(shard_, engine().now(), sim::TraceKind::mem_write,
+                             nlet, nodelet_, bytes, tid_);
+      n.channel().write(addr, bytes);
+      return;
+    }
+    Machine* m = machine_;
+    const std::int32_t from = nodelet_;
+    const std::int32_t t = tid_;
+    machine_->post_remote(
+        shard_, ds, engine().now() + cfg().internode_latency,
+        sim::SmallFn([m, nlet, from, addr, bytes, t] {
+          Nodelet& n = m->nodelet(nlet);
+          ++n.stats.writes;
+          ++n.stats.remote_writes_in;
+          n.stats.write_bytes += bytes;
+          const int s = m->shard_of_nodelet(nlet);
+          m->record_trace(s, m->shard_engine(s).now(),
+                          sim::TraceKind::mem_write, nlet, from, bytes, t);
+          n.channel().write(addr, bytes);
+        }));
   }
 
   /// Memory-side remote atomic (e.g. remote add).  Posted; occupies the
   /// remote channel for a read-modify-write.
   void atomic_remote(int nlet, std::uint64_t addr) {
-    Nodelet& n = machine_->nodelet(nlet);
-    ++n.stats.atomics_in;
-    machine_->trace.record(engine().now(), sim::TraceKind::remote_atomic,
-                           nlet, nodelet_, 0, tid_);
-    n.channel().write(addr, 8);  // RMW occupies roughly one word access
-    n.channel().write(addr, 8);
+    atomic_remote(nlet, addr, [] {});
+  }
+
+  /// Memory-side remote atomic carrying its host-side effect: `apply` runs
+  /// when the atomic is performed at the owning nodelet — immediately for a
+  /// same-node target (matching the old call-site ordering, where the
+  /// caller mutated host memory before posting the atomic), at delivery on
+  /// the owning shard for a cross-node target.  Kernels whose host mutation
+  /// targets remote striped data (GUPS xor, histogram bins, MTTKRP rank
+  /// accumulations) must use this form: it is what keeps the mutation on
+  /// the owning shard's thread under the sharded engine.
+  template <class Apply>
+  void atomic_remote(int nlet, std::uint64_t addr, Apply apply) {
+    const int ds = machine_->shard_of_nodelet(nlet);
+    if (ds == shard_) {
+      apply();
+      Nodelet& n = machine_->nodelet(nlet);
+      ++n.stats.atomics_in;
+      machine_->record_trace(shard_, engine().now(),
+                             sim::TraceKind::remote_atomic, nlet, nodelet_, 0,
+                             tid_);
+      n.channel().write(addr, 8);  // RMW occupies roughly one word access
+      n.channel().write(addr, 8);
+      return;
+    }
+    Machine* m = machine_;
+    const std::int32_t from = nodelet_;
+    const std::int32_t t = tid_;
+    machine_->post_remote(
+        shard_, ds, engine().now() + cfg().internode_latency,
+        sim::SmallFn([m, nlet, from, addr, t,
+                      apply = std::move(apply)]() mutable {
+          apply();
+          Nodelet& n = m->nodelet(nlet);
+          ++n.stats.atomics_in;
+          const int s = m->shard_of_nodelet(nlet);
+          m->record_trace(s, m->shard_engine(s).now(),
+                          sim::TraceKind::remote_atomic, nlet, from, 0, t);
+          n.channel().write(addr, 8);
+          n.channel().write(addr, 8);
+        }));
   }
 
   /// Memory-side remote atomic *with* a returned value (fetch-add style):
@@ -340,7 +499,7 @@ class Context {
   sim::Op<> spawn(F body) {
     co_await issue(static_cast<std::uint64_t>(cfg().spawn_issue_cycles));
     if (machine_->try_start_local_thread(nodelet_, this, body)) co_return;
-    ++machine_->stats.inline_spawns;
+    ++machine_->shard_stats(shard_).inline_spawns;
     co_await issue(static_cast<std::uint64_t>(cfg().thread_startup_cycles));
     co_await body(*this);
   }
@@ -354,25 +513,98 @@ class Context {
   }
 
   /// cilk_sync: wait until all threads spawned by this context finish.
+  ///
+  /// Bookkeeping ownership under the sharded engine: `spawned_` is written
+  /// only by this thread itself (spawning is a sequential act of the
+  /// parent); `completed_` and the waiter registration are owned by the
+  /// *home shard* — the shard of the birth nodelet — to which every child
+  /// completion is routed.  A context syncing away from its home shard
+  /// therefore cannot read `completed_` directly: it sends a registration
+  /// message home and is woken by a message back (one inter-node latency
+  /// each way — the price of carrying sync state across the fabric).  The
+  /// common cases stay fast: a leaf thread (nothing spawned) is ready
+  /// immediately, and a parent syncing on its home shard checks directly,
+  /// exactly like the serial engine.
   auto sync() {
     struct Awaiter {
       Context& ctx;
-      bool await_ready() const noexcept { return ctx.live_children_ == 0; }
-      void await_suspend(std::coroutine_handle<> h) { ctx.sync_waiter_ = h; }
+      bool await_ready() const noexcept {
+        if (ctx.spawned_ == 0) return true;  // leaf: nothing to wait for
+        if (ctx.shard_ == ctx.home_shard_) {
+          return ctx.completed_ == ctx.spawned_;
+        }
+        return false;  // off home: must round-trip to the owning shard
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        Context& c = ctx;
+        if (c.shard_ == c.home_shard_) {
+          c.waiter_shard_ = c.shard_;
+          c.sync_waiter_ = h;
+          return;
+        }
+        Context* p = &c;
+        const int cur = c.shard_;
+        c.machine_->post_remote(
+            cur, c.home_shard_, c.engine().now() + c.cfg().internode_latency,
+            sim::SmallFn([p, cur, h] {  // runs on the home shard
+              if (p->completed_ == p->spawned_) {
+                Machine* m = p->machine_;
+                m->post_wake(p->home_shard_, cur,
+                             m->shard_engine(p->home_shard_).now() +
+                                 m->cfg().internode_latency,
+                             h);
+              } else {
+                p->waiter_shard_ = cur;
+                p->sync_waiter_ = h;
+              }
+            }));
+      }
       void await_resume() const noexcept {}
     };
     return Awaiter{*this};
   }
 
-  int live_children() const { return live_children_; }
+  /// Children spawned and not yet known complete.  Exact on the home shard
+  /// (and always post-run); elsewhere mid-run it can lag by in-flight
+  /// completion messages.
+  int live_children() const { return spawned_ - completed_; }
 
  private:
   template <class F>
   friend sim::Task detail::thread_main(Machine*, std::unique_ptr<Context>, F);
   friend class Machine;
 
+  /// Awaitable: carry this thread across the fabric to `dest_shard`,
+  /// arriving one `latency` later.  The continuation rides the cross-shard
+  /// mailbox and resumes on the destination shard's worker; `shard_` is
+  /// retargeted at suspension so everything after the hop charges the
+  /// destination.  (Same-shard hops — possible only when the machine has a
+  /// single shard — degenerate to a plain sleep.)
+  auto fabric_hop(int dest_shard, Time latency) {
+    struct Awaiter {
+      Context& ctx;
+      int dst;
+      Time latency;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        const int src = ctx.shard_;
+        sim::Engine& src_eng = ctx.machine_->shard_engine(src);
+        if (dst == src) {
+          src_eng.schedule_in(latency, h);
+          return;
+        }
+        const Time when = src_eng.now() + latency;
+        ctx.shard_ = dst;
+        ctx.machine_->post_wake(src, dst, when, h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this, dest_shard, latency};
+  }
+
   void arrive(int nlet) {
     nodelet_ = nlet;
+    shard_ = machine_->shard_of_nodelet(nlet);
     Nodelet& n = machine_->nodelet(nlet);
     core_ = n.assign_core();
     ++n.stats.thread_arrivals;
@@ -386,18 +618,29 @@ class Context {
     n.slots().release();
   }
 
-  void child_done() {
-    --live_children_;
-    if (live_children_ == 0 && sync_waiter_) {
+  /// One child finished.  Always runs on the home shard (routed there by
+  /// Machine::notify_child_done), which owns `completed_` and the waiter.
+  void note_child_done() {
+    ++completed_;
+    if (sync_waiter_ && completed_ == spawned_) {
       auto h = std::exchange(sync_waiter_, {});
-      // Sync wakeups are same-timestamp by construction: use the engine's
-      // zero-delay FIFO lane so deep spawn trees never churn the heap.
-      machine_->engine().schedule_now(h);
+      if (waiter_shard_ == home_shard_) {
+        // Sync wakeups are same-timestamp by construction: use the engine's
+        // zero-delay FIFO lane so deep spawn trees never churn the heap.
+        machine_->shard_engine(home_shard_).schedule_now(h);
+      } else {
+        machine_->post_wake(home_shard_, waiter_shard_,
+                            machine_->shard_engine(home_shard_).now() +
+                                machine_->cfg().internode_latency,
+                            h);
+      }
     }
   }
 
   Machine* machine_;
   Context* parent_;
+  int shard_;       ///< shard this thread currently executes on
+  int home_shard_;  ///< shard of the birth nodelet; owns sync bookkeeping
   int tid_;
   int nodelet_ = -1;
   int core_ = 0;
@@ -405,7 +648,9 @@ class Context {
   int src_nodelet_;
   bool via_fabric_;
   bool has_slot_at_birth_;
-  int live_children_ = 0;
+  int spawned_ = 0;    ///< children spawned; written only by this thread
+  int completed_ = 0;  ///< children completed; written only on home shard
+  int waiter_shard_ = -1;  ///< shard the sync waiter suspended on
   std::coroutine_handle<> sync_waiter_;
 };
 
@@ -427,7 +672,7 @@ sim::Task thread_main(Machine* m, std::unique_ptr<Context> ctx, F body) {
           static_cast<double>(m->cfg().thread_context_bytes),
           m->cfg().internode_bytes_per_sec);
       co_await m->node(src_node).link().access(wire);
-      co_await m->engine().sleep(m->cfg().internode_latency);
+      co_await c.fabric_hop(dst_node, m->cfg().internode_latency);
       co_await m->node(dst_node).migration_engine().pass();
     }
   }
@@ -435,14 +680,20 @@ sim::Task thread_main(Machine* m, std::unique_ptr<Context> ctx, F body) {
     co_await m->nodelet(c.birth_nodelet_).slots().acquire();
   }
   c.arrive(c.birth_nodelet_);
-  m->trace.record(m->engine().now(), sim::TraceKind::thread_start,
+  m->record_trace(c.shard_, c.engine().now(), sim::TraceKind::thread_start,
                   c.birth_nodelet_, -1, 0, c.tid_);
   co_await c.issue(static_cast<std::uint64_t>(m->cfg().thread_startup_cycles));
   co_await body(c);
   co_await c.sync();  // implicit cilk_sync at thread exit
-  m->trace.record(m->engine().now(), sim::TraceKind::thread_end, c.nodelet_,
-                  -1, 0, c.tid_);
+  m->record_trace(c.shard_, c.engine().now(), sim::TraceKind::thread_end,
+                  c.nodelet_, -1, 0, c.tid_);
   c.depart();
+  // Completion accounting happens here, inside the coroutine, where the
+  // final shard is known: the parent notification must be routed to the
+  // parent's home shard, and a Task completion hook would fire after the
+  // frame (and this context) is gone.
+  ++m->shard_stats(c.shard_).threads_completed;
+  if (c.parent_ != nullptr) m->notify_child_done(c.parent_, c.shard_);
 }
 
 }  // namespace detail
@@ -451,38 +702,37 @@ template <class F>
 bool Machine::try_start_local_thread(int birth, Context* parent,
                                      const F& body) {
   if (!nodelet(birth).slots().try_acquire()) return false;
-  ++stats.spawns;
-  if (parent) ++parent->live_children_;
+  // A local spawn is always issued by the parent on the birth nodelet's
+  // shard: every touch below (slots, stats, trace, the child's first steps)
+  // is shard-local.
+  const int cs = shard_of_nodelet(birth);
+  ++shard_stats(cs).spawns;
+  if (parent) ++parent->spawned_;
   auto ctx = std::make_unique<Context>(*this, parent, birth,
                                        /*via_fabric=*/false, birth,
                                        /*has_slot=*/true);
-  trace.record(eng_.now(), sim::TraceKind::thread_spawn, birth,
+  record_trace(cs, shard_engine(cs).now(), sim::TraceKind::thread_spawn, birth,
                parent ? parent->nodelet_ : -1, 0, ctx->tid_);
   auto task = detail::thread_main(this, std::move(ctx), body);
-  task.on_complete([this, parent] {
-    ++stats.threads_completed;
-    if (parent) parent->child_done();
-  });
-  task.start();
+  task.start();  // parent notification happens inside thread_main
   return true;
 }
 
 template <class F>
 void Machine::start_fabric_thread(int birth, int src, Context* parent, F body,
                                   bool via_fabric) {
-  ++stats.spawns;
-  if (via_fabric) ++stats.remote_spawns;
-  if (parent) ++parent->live_children_;
+  // The spawn packet is issued where the parent currently executes: the
+  // shard of `src` (nodelet 0 / shard 0 for the root).
+  const int cs = shard_of_nodelet(src);
+  ++shard_stats(cs).spawns;
+  if (via_fabric) ++shard_stats(cs).remote_spawns;
+  if (parent) ++parent->spawned_;
   auto ctx = std::make_unique<Context>(*this, parent, birth, via_fabric, src,
                                        /*has_slot=*/false);
-  trace.record(eng_.now(), sim::TraceKind::thread_spawn, birth,
+  record_trace(cs, shard_engine(cs).now(), sim::TraceKind::thread_spawn, birth,
                parent ? parent->nodelet_ : -1, 0, ctx->tid_);
   auto task = detail::thread_main(this, std::move(ctx), std::move(body));
-  task.on_complete([this, parent] {
-    ++stats.threads_completed;
-    if (parent) parent->child_done();
-  });
-  task.start();
+  task.start();  // parent notification happens inside thread_main
 }
 
 }  // namespace emusim::emu

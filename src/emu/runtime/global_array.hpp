@@ -88,10 +88,19 @@ class GlobalArray {
               static_cast<double>(v - lo) / static_cast<double>(hi - lo) *
               static_cast<double>(buckets));
           if (b >= buckets) b = buckets - 1;
-          ++bins[b];
-          c.atomic_remote(bins.home(b), bins.byte_addr(b));
+          // The increment executes on the bin's owning shard at delivery.
+          std::uint64_t* slot = &bins[b];
+          c.atomic_remote(bins.home(b), bins.byte_addr(b),
+                          [slot] { ++*slot; });
           co_await c.issue(6);
         });
+    if (machine_->num_shards() > 1) {
+      // Remote-atomic deliveries posted by the last finishing counter can
+      // still be in flight (they land up to one inter-node latency after the
+      // post).  Two latencies ahead of the join point is provably past the
+      // last delivery's window, so reading and freeing `bins` is safe.
+      co_await ctx.engine().sleep(2 * machine_->cfg().internode_latency);
+    }
     std::vector<std::uint64_t> out(buckets);
     for (std::size_t b = 0; b < buckets; ++b) out[b] = bins[b];
     co_return out;

@@ -33,9 +33,12 @@ Op<> gups_emu_worker(emu::Context& ctx, emu::Striped1D<std::int64_t>* table,
   for (std::size_t u = 0; u < updates; ++u) {
     const auto [idx, val] = stream.next();
     co_await ctx.issue(kGupsEmuCyclesPerUpdate);
-    (*table)[idx] ^= static_cast<std::int64_t>(val);
-    // Memory-side remote atomic: no migration, no round trip.
-    ctx.atomic_remote(table->home(idx), table->byte_addr(idx));
+    // Memory-side remote atomic: no migration, no round trip.  The host XOR
+    // rides along and executes on the word's owning shard at delivery.
+    std::int64_t* slot = &(*table)[idx];
+    const auto v = static_cast<std::int64_t>(val);
+    ctx.atomic_remote(table->home(idx), table->byte_addr(idx),
+                      [slot, v] { *slot ^= v; });
   }
 }
 

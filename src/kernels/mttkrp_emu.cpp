@@ -174,20 +174,20 @@ Op<> one_d_range(Context& ctx, OneDState* st, std::size_t lo, std::size_t hi) {
                                         st->rank),
         rank32);
     // M lives on nodelet 0: accumulate with memory-side remote atomics,
-    // one per rank column.
-    for (std::size_t r = 0; r < st->rank; ++r) {
-      ctx.atomic_remote(
-          st->m.home(),
-          st->m.byte_addr(static_cast<std::size_t>(st->x->i[e]) * st->rank +
-                          r));
-    }
-
+    // one per rank column.  Each host add rides its atomic and executes on
+    // M's owning shard at delivery, so the accumulation order (and the
+    // floating-point result) is fixed by the event schedule, not by which
+    // worker thread ran which shard.
     const double v = st->x->val[e];
     const double* br = st->b->row(st->x->j[e]);
     const double* cr = st->c->row(st->x->k[e]);
-    double* mr = st->m_host.data() +
-                 static_cast<std::size_t>(st->x->i[e]) * st->rank;
-    for (std::size_t r = 0; r < st->rank; ++r) mr[r] += v * br[r] * cr[r];
+    const std::size_t row0 = static_cast<std::size_t>(st->x->i[e]) * st->rank;
+    for (std::size_t r = 0; r < st->rank; ++r) {
+      double* mr = st->m_host.data() + row0 + r;
+      const double add = v * br[r] * cr[r];
+      ctx.atomic_remote(st->m.home(), st->m.byte_addr(row0 + r),
+                        [mr, add] { *mr += add; });
+    }
   }
 }
 

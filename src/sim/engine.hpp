@@ -28,6 +28,7 @@
 // each other.
 #pragma once
 
+#include <bit>
 #include <coroutine>
 #include <cstddef>
 #include <cstdint>
@@ -39,6 +40,8 @@
 #include "sim/callback.hpp"
 
 namespace emusim::sim {
+
+class EngineSet;
 
 class Engine {
  public:
@@ -117,6 +120,41 @@ class Engine {
     return now_;
   }
 
+  /// Process all events with a timestamp strictly before `end`, leaving the
+  /// clock at the last processed event rather than bumping it to `end`.
+  /// Building block for the windowed parallel driver (EngineSet): a shard
+  /// executes one conservative time window, then the driver exchanges
+  /// cross-shard messages — which carry timestamps >= `end` and must still
+  /// satisfy the when > now() heap routing — and opens the next window.
+  Time run_window(Time end) {
+    while (!idle() && next_when() < end) step();
+    return now_;
+  }
+
+  /// Queue a cross-shard coroutine resumption delivered by the windowed
+  /// driver.  Semantically identical to schedule(), but named separately so
+  /// mailbox delivery sites are greppable; the conservative-window invariant
+  /// guarantees `when` lies at or beyond the current window end, i.e.
+  /// strictly in this shard's future.
+  void inject(Time when, std::coroutine_handle<> h) {
+    EMUSIM_CHECK(when > now_);
+    push_entry(when, coro_payload(h));
+  }
+
+  /// Queue a cross-shard callback delivered by the windowed driver.
+  void inject_call(Time when, SmallFn fn) {
+    EMUSIM_CHECK(when > now_);
+    push_entry(when, slot_payload(std::move(fn)));
+  }
+
+  /// Advance the clock to `t` without processing anything.  Used by the
+  /// windowed driver to bring every shard to the same final time once all
+  /// queues have drained, so post-run now() reads are shard-independent.
+  void advance_to(Time t) {
+    EMUSIM_CHECK(idle() || next_when() >= t);
+    if (t > now_) now_ = t;
+  }
+
   bool idle() const { return fifo_count_ == 0 && heap_.empty(); }
   std::uint64_t events_processed() const { return events_processed_; }
 
@@ -144,7 +182,12 @@ class Engine {
   /// same-shaped points then allocate once instead of once per point.
   void reserve(std::size_t events_hint) {
     heap_.reserve(events_hint);
-    while (fifo_.size() < events_hint) fifo_grow();
+    if (fifo_.size() < events_hint) {
+      // One allocation straight to the next power of two >= the hint; the
+      // doubling loop this replaces reallocated and copied the ring once
+      // per step on the way up.
+      fifo_grow_to(std::bit_ceil(events_hint));
+    }
     // SmallFn slots are ~48 B each and callbacks are a small fraction of
     // traffic; cap the speculative reservation.
     slots_.reserve(events_hint < 4096 ? events_hint : 4096);
@@ -156,7 +199,13 @@ class Engine {
   /// between the true peak and twice the peak, and feeding it back through
   /// reserve() reaches a fixed point instead of ratcheting upward.
   std::size_t footprint() const {
-    return heap_.capacity() > fifo_.size() ? heap_.capacity() : fifo_.size();
+    std::size_t peak =
+        heap_.capacity() > fifo_.size() ? heap_.capacity() : fifo_.size();
+    // The SmallFn slot pool grows with peak in-flight callbacks just like
+    // the entry lanes do; leaving it out made callback-heavy sweeps re-grow
+    // the pool on every point instead of reaching the reserve() fixed point.
+    if (slots_.capacity() > peak) peak = slots_.capacity();
+    return peak;
   }
 
   /// Awaitable: suspend the current coroutine for `delay` simulated time.
@@ -181,6 +230,10 @@ class Engine {
   auto sleep_until(Time when) { return sleep(when > now_ ? when - now_ : 0); }
 
  private:
+  /// The windowed parallel driver steers shards by their next pending
+  /// timestamp (next_when / idle) between windows.
+  friend class EngineSet;
+
   /// One queued event.  `payload` is tagged by its low bit: 0 = the address
   /// of a coroutine handle (always pointer-aligned), 1 = a SmallFn slot
   /// index shifted left by one.  Keeping entries trivially copyable is what
@@ -314,7 +367,15 @@ class Engine {
 
   void fifo_grow() {
     const std::size_t old_cap = fifo_.size();
-    std::vector<Entry> grown(old_cap == 0 ? 64 : old_cap * 2);
+    fifo_grow_to(old_cap == 0 ? 64 : old_cap * 2);
+  }
+
+  /// Replace the ring with one of capacity `new_cap` (a power of two >= 64
+  /// and > the current capacity), preserving queued entries in order.
+  void fifo_grow_to(std::size_t new_cap) {
+    const std::size_t old_cap = fifo_.size();
+    if (new_cap < 64) new_cap = 64;
+    std::vector<Entry> grown(new_cap);
     for (std::size_t k = 0; k < fifo_count_; ++k) {
       grown[k] = fifo_[(fifo_head_ + k) & (old_cap - 1)];
     }

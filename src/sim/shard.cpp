@@ -1,0 +1,115 @@
+#include "sim/shard.hpp"
+
+#include <algorithm>
+#include <barrier>
+#include <thread>
+
+namespace emusim::sim {
+
+EngineSet::EngineSet(std::size_t shards)
+    : engines_(shards), outboxes_(shards * shards) {
+  EMUSIM_CHECK(shards >= 1);
+}
+
+void EngineSet::plan_window() noexcept {
+  const std::size_t S = engines_.size();
+  // Drain mailboxes in canonical order: per destination, gather messages
+  // source-major, stable-sort by timestamp (preserving source-major order
+  // within a timestamp), inject.  The destination engine assigns seq
+  // numbers in this order, which fixes all downstream tie-breaking
+  // independent of worker-thread count.
+  for (std::size_t dst = 0; dst < S; ++dst) {
+    scratch_.clear();
+    for (std::size_t src = 0; src < S; ++src) {
+      auto& box = outbox(src, dst);
+      for (auto& m : box) scratch_.push_back(std::move(m));
+      box.clear();
+    }
+    std::stable_sort(scratch_.begin(), scratch_.end(),
+                     [](const Msg& a, const Msg& b) { return a.when < b.when; });
+    Engine& e = engines_[dst];
+    for (auto& m : scratch_) {
+      // Lookahead violation guard: anything posted during the window that
+      // just ran must land at or beyond its end.
+      EMUSIM_CHECK(m.when >= end_);
+      if (m.h) {
+        e.inject(m.when, m.h);
+      } else {
+        e.inject_call(m.when, std::move(m.fn));
+      }
+    }
+  }
+  if (window_hook_) window_hook_();
+  // Next window starts at the earliest pending event across all shards.
+  bool any = false;
+  Time t_min = 0;
+  for (const Engine& e : engines_) {
+    if (e.idle()) continue;
+    const Time t = e.next_when();
+    if (!any || t < t_min) t_min = t;
+    any = true;
+  }
+  if (!any) {
+    done_ = true;
+    return;
+  }
+  EMUSIM_CHECK(t_min + lookahead_ > end_);  // windows advance monotonically
+  end_ = t_min + lookahead_;
+}
+
+Time EngineSet::run(Time lookahead, int threads) {
+  const std::size_t S = engines_.size();
+  if (S == 1) {
+    // Exactly the serial engine: no windows, no barriers, no hook.
+    return engines_[0].run();
+  }
+  EMUSIM_CHECK(lookahead > 0);
+  lookahead_ = lookahead;
+  end_ = 0;
+  done_ = false;
+  int T = threads;
+  if (T < 1) T = 1;
+  if (T > static_cast<int>(S)) T = static_cast<int>(S);
+  if (T == 1) {
+    for (;;) {
+      plan_window();
+      if (done_) break;
+      for (Engine& e : engines_) e.run_window(end_);
+    }
+  } else {
+    // T workers (this thread is worker 0) separated by one barrier per
+    // window; the barrier's completion step runs plan_window() on exactly
+    // one thread, synchronized-with every worker.
+    std::barrier bar(T, [this]() noexcept { plan_window(); });
+    auto worker = [&](int w) {
+      for (;;) {
+        bar.arrive_and_wait();
+        if (done_) break;
+        for (std::size_t s = static_cast<std::size_t>(w); s < S;
+             s += static_cast<std::size_t>(T)) {
+          engines_[s].run_window(end_);
+        }
+      }
+    };
+    std::vector<std::jthread> pool;
+    pool.reserve(static_cast<std::size_t>(T - 1));
+    for (int w = 1; w < T; ++w) pool.emplace_back(worker, w);
+    worker(0);
+  }
+  // Bring every shard to the one global final time, so post-run now()
+  // reads (counters, observers) are shard-independent.
+  Time final_t = 0;
+  for (const Engine& e : engines_) final_t = std::max(final_t, e.now());
+  for (Engine& e : engines_) e.advance_to(final_t);
+  return final_t;
+}
+
+void EngineSet::reset() {
+  for (auto& box : outboxes_) box.clear();
+  scratch_.clear();
+  for (Engine& e : engines_) e.reset();
+  end_ = 0;
+  done_ = false;
+}
+
+}  // namespace emusim::sim

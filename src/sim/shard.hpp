@@ -1,0 +1,108 @@
+// EngineSet: conservative windowed parallel DES over sharded Engines.
+//
+// One Engine per shard (the Emu machine maps one shard per node).  Shards
+// advance together through time windows of width `lookahead` — the minimum
+// latency of any cross-shard interaction, so an event executing inside a
+// window can only schedule onto another shard at or beyond the window end.
+// Within a window every shard processes its own queue independently; the
+// cross-shard traffic it generates goes into per-(src,dst) mailboxes, which
+// the window barrier drains into the destination queues before the next
+// window opens.
+//
+// Determinism contract: the shard count and the shard of every event are
+// functions of the machine configuration alone, never of the worker-thread
+// count.  Threads only decide *which OS thread* executes a shard's window,
+// so `threads = 1` and `threads = N` produce byte-identical simulations.
+// Two pieces make that hold:
+//   * per-shard seq counters — intra-shard tie order is the serial engine's
+//     insertion order, untouched by parallelism;
+//   * a canonical mailbox drain order — for each destination, messages are
+//     gathered source-major, stable-sorted by timestamp, and injected in
+//     that order, so the destination's seq assignment (and therefore all
+//     downstream tie-breaking) is reproducible.
+//
+// The window barrier also runs a caller-installed hook (the Emu machine
+// merges per-shard trace staging buffers there) on exactly one thread,
+// synchronized-with all workers.
+#pragma once
+
+#include <coroutine>
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/units.hpp"
+#include "sim/callback.hpp"
+#include "sim/engine.hpp"
+
+namespace emusim::sim {
+
+class EngineSet {
+ public:
+  explicit EngineSet(std::size_t shards);
+  EngineSet(const EngineSet&) = delete;
+  EngineSet& operator=(const EngineSet&) = delete;
+
+  std::size_t shards() const { return engines_.size(); }
+  Engine& shard(std::size_t s) { return engines_[s]; }
+  const Engine& shard(std::size_t s) const { return engines_[s]; }
+
+  /// Queue a cross-shard coroutine resumption.  Single-writer discipline:
+  /// during a window only shard `src`'s worker may post from `src`.  `when`
+  /// must respect the lookahead (>= the end of the posting window); the
+  /// drain checks it.
+  void post(std::size_t src, std::size_t dst, Time when,
+            std::coroutine_handle<> h) {
+    outbox(src, dst).push_back(Msg{when, h, SmallFn{}});
+  }
+
+  /// Queue a cross-shard callback.
+  void post_call(std::size_t src, std::size_t dst, Time when, SmallFn fn) {
+    outbox(src, dst).push_back(Msg{when, {}, std::move(fn)});
+  }
+
+  /// Install a hook run on one thread at every window barrier, after the
+  /// mailbox drain (and once before the first window).  The Emu machine
+  /// merges per-shard trace staging here.  Invoked repeatedly; must be
+  /// reentrant across windows but is never run concurrently with shard
+  /// execution.
+  void set_window_hook(SmallFn hook) { window_hook_ = std::move(hook); }
+
+  /// Run all shards to completion under windows of width `lookahead`,
+  /// using up to `threads` workers (clamped to [1, shards()]).  A single
+  /// shard degenerates to the serial Engine::run() — exactly the old
+  /// engine, no windowing.  On return every shard's clock reads the same
+  /// global final time.
+  Time run(Time lookahead, int threads);
+
+  /// Drop pending cross-shard messages and reset every shard engine.
+  void reset();
+
+ private:
+  struct Msg {
+    Time when;
+    std::coroutine_handle<> h;  ///< non-null: resume this coroutine
+    SmallFn fn;                 ///< otherwise: invoke this callback
+  };
+
+  std::vector<Msg>& outbox(std::size_t src, std::size_t dst) {
+    return outboxes_[src * engines_.size() + dst];
+  }
+
+  /// The per-window coordination step, run on exactly one thread: drain all
+  /// mailboxes into destination queues (canonical order), fire the window
+  /// hook, then pick the next window [t_min, t_min + lookahead) or declare
+  /// the run finished.
+  void plan_window() noexcept;
+
+  std::deque<Engine> engines_;         ///< Engine is pinned (non-movable)
+  std::vector<std::vector<Msg>> outboxes_;  ///< [src * S + dst]
+  std::vector<Msg> scratch_;           ///< drain staging, reused per window
+  SmallFn window_hook_;
+  Time lookahead_ = 0;
+  Time end_ = 0;    ///< current window end, published by plan_window()
+  bool done_ = false;
+};
+
+}  // namespace emusim::sim

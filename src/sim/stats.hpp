@@ -27,6 +27,25 @@ class Summary {
     max_ = std::max(max_, x);
   }
 
+  /// Fold another summary into this one (Chan et al. parallel Welford
+  /// combine).  Used to merge per-shard stats after a sharded run; merge
+  /// order must be fixed by the caller for bit-reproducible results.
+  void merge(const Summary& o) {
+    if (o.n_ == 0) return;
+    if (n_ == 0) {
+      *this = o;
+      return;
+    }
+    const std::uint64_t n = n_ + o.n_;
+    const double delta = o.mean_ - mean_;
+    m2_ += o.m2_ + delta * delta * static_cast<double>(n_) *
+                       static_cast<double>(o.n_) / static_cast<double>(n);
+    mean_ += delta * static_cast<double>(o.n_) / static_cast<double>(n);
+    min_ = std::min(min_, o.min_);
+    max_ = std::max(max_, o.max_);
+    n_ = n;
+  }
+
   std::uint64_t count() const { return n_; }
   double mean() const { return n_ ? mean_ : 0.0; }
   double variance() const {
@@ -51,6 +70,15 @@ class Log2Histogram {
   void add(std::uint64_t x) {
     ++buckets_[bucket_of(x)];
     summary_.add(static_cast<double>(x));
+  }
+
+  /// Fold another histogram into this one (bucket-wise addition plus a
+  /// summary merge).
+  void merge(const Log2Histogram& o) {
+    for (std::size_t b = 0; b < buckets_.size(); ++b) {
+      buckets_[b] += o.buckets_[b];
+    }
+    summary_.merge(o.summary_);
   }
 
   std::uint64_t count() const { return summary_.count(); }

@@ -101,6 +101,36 @@ TEST(ParseOptions, RejectsBadJobsValues) {
   }
 }
 
+TEST(ParseOptions, ParsesEngineThreadsBothForms) {
+  Argv a({"--engine-threads", "4", "--jobs=2"});
+  Options opt;
+  std::string err;
+  ASSERT_TRUE(parse_options(a.argc(), a.argv(), &opt, &err)) << err;
+  EXPECT_EQ(opt.engine_threads, 4);
+  EXPECT_EQ(opt.jobs, 2);
+
+  Argv b({"--engine-threads=16"});
+  ASSERT_TRUE(parse_options(b.argc(), b.argv(), &opt, &err)) << err;
+  EXPECT_EQ(opt.engine_threads, 16);
+}
+
+TEST(ParseOptions, EngineThreadsDefaultsToSerial) {
+  Argv a({});
+  Options opt;
+  std::string err;
+  ASSERT_TRUE(parse_options(a.argc(), a.argv(), &opt, &err)) << err;
+  EXPECT_EQ(opt.engine_threads, 1);
+}
+
+TEST(ParseOptions, RejectsBadEngineThreadsValues) {
+  for (const char* n : {"0", "-1", "x", "4096"}) {
+    Argv a({"--engine-threads", n});
+    Options opt;
+    std::string err;
+    EXPECT_FALSE(parse_options(a.argc(), a.argv(), &opt, &err)) << n;
+  }
+}
+
 TEST(ParseOptions, RejectsBarePositionalArgument) {
   Argv a({"stray"});
   Options opt;

@@ -1,14 +1,21 @@
 #!/usr/bin/env python3
-"""Check that a bench produces identical results at --jobs 1 and --jobs N.
+"""Check that a bench produces identical results serial vs parallel.
 
-Runs the given bench binary twice (serial and parallel), captures the JSON
-result of each, strips the host-wall-clock fields (wall_seconds, and the
-y/extras of any series marked y_wall_clock), and requires the remainder to
-be byte-identical.  This is the executable form of the sweep runner's
-guarantee: parallelism may change only how long the sweep takes, never what
-it reports.
+Runs the given bench binary twice — with the chosen parallelism flag at 1
+and at N — captures the JSON result of each, strips the host-wall-clock
+fields (wall_seconds, and the y/extras of any series marked y_wall_clock),
+and requires the remainder to be byte-identical.
 
-usage: check_jobs_determinism.py <bench-binary> [jobs] [extra bench args...]
+Two flags carry that guarantee and both are gated with this script:
+
+  --flag jobs            the sweep runner (bench/sweep_pool.hpp): points
+                         merge in submission order regardless of
+                         completion order
+  --flag engine-threads  the windowed parallel engine (src/sim/shard.hpp):
+                         per-node shards under conservative time windows,
+                         canonical mailbox drain order
+
+usage: check_jobs_determinism.py [--flag NAME] <bench-binary> [n] [extra...]
 """
 import json
 import subprocess
@@ -29,11 +36,11 @@ def strip_wall_fields(result):
     return result
 
 
-def run(binary, jobs, extra):
+def run(binary, flag, n, extra):
     with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
         path = tmp.name
     try:
-        cmd = [binary, "--quick", "--jobs", str(jobs), "--json", path] + extra
+        cmd = [binary, "--quick", f"--{flag}", str(n), "--json", path] + extra
         proc = subprocess.run(cmd, capture_output=True, text=True)
         if proc.returncode != 0:
             sys.exit(f"{' '.join(cmd)} exited {proc.returncode}:\n"
@@ -45,20 +52,27 @@ def run(binary, jobs, extra):
 
 
 def main():
-    if len(sys.argv) < 2:
+    args = sys.argv[1:]
+    flag = "jobs"
+    if args and args[0] == "--flag":
+        if len(args) < 2:
+            sys.exit(__doc__)
+        flag = args[1]
+        args = args[2:]
+    if not args:
         sys.exit(__doc__)
-    binary = sys.argv[1]
-    jobs = int(sys.argv[2]) if len(sys.argv) > 2 else 8
-    extra = sys.argv[3:]
-    serial = run(binary, 1, extra)
-    parallel = run(binary, jobs, extra)
+    binary = args[0]
+    n = int(args[1]) if len(args) > 1 else 8
+    extra = args[2:]
+    serial = run(binary, flag, 1, extra)
+    parallel = run(binary, flag, n, extra)
     if serial != parallel:
         a = json.dumps(serial, indent=1, sort_keys=True).splitlines()
         b = json.dumps(parallel, indent=1, sort_keys=True).splitlines()
         diff = [f"-{x}\n+{y}" for x, y in zip(a, b) if x != y]
-        sys.exit(f"{binary}: --jobs 1 vs --jobs {jobs} results differ "
+        sys.exit(f"{binary}: --{flag} 1 vs --{flag} {n} results differ "
                  f"after stripping wall-clock fields:\n" + "\n".join(diff[:40]))
-    print(f"{os.path.basename(binary)}: --jobs 1 == --jobs {jobs} "
+    print(f"{os.path.basename(binary)}: --{flag} 1 == --{flag} {n} "
           f"({len(serial.get('series', []))} series) OK")
 
 
