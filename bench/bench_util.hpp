@@ -147,6 +147,13 @@ class Harness {
   /// gates on it.  micro_simcore uses this; simulated-metric benches don't.
   void mark_wall_clock_y() { result_.y_wall_clock = true; }
 
+  /// Attach the tail-latency blob ("series/label" -> histogram JSON) that
+  /// serving benches emit alongside their points.  Stored under the
+  /// result's additive "latency" key.
+  void set_latency(report::Json blob) {
+    result_.latency = std::move(blob);
+  }
+
   /// The --trace/--counters observer, or nullptr when neither flag is set.
   /// SweepPool folds per-job observers into this one at the merge barrier.
   report::BenchObserver* observer() { return observer_.get(); }

@@ -68,7 +68,27 @@ DiffReport diff_results(const std::vector<BenchResult>& baseline,
         if (!e.wall_clock && e.delta_pct > opt.max_regress_pct) {
           ++rep.improvements;
         }
+        // Tail-latency summaries ride along as report-only entries (see
+        // DiffEntry::report_only): deltas show in the diff output, but a
+        // shifted percentile never fails the gate.
+        std::vector<DiffEntry> lat;
+        for (const auto& [name, bv] : bp.extra) {
+          if (name.rfind("lat_", 0) != 0) continue;
+          const double* cv = cp->metric(name);
+          if (cv == nullptr) continue;
+          DiffEntry le = e;
+          le.metric = name;
+          le.base_y = bv;
+          le.cand_y = *cv;
+          le.delta_pct = bv != 0.0
+                             ? (*cv - bv) / std::fabs(bv) * 100.0
+                             : (*cv == 0.0 ? 0.0 : 100.0);
+          le.regression = false;
+          le.report_only = true;
+          lat.push_back(std::move(le));
+        }
         rep.entries.push_back(std::move(e));
+        for (auto& le : lat) rep.entries.push_back(std::move(le));
       }
     }
   }

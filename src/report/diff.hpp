@@ -26,6 +26,9 @@ struct DiffEntry {
   std::string series;
   double x = 0.0;
   std::string label;
+  /// Empty for the primary y; otherwise the name of the extra metric this
+  /// entry compares (currently the lat_* tail-latency summaries).
+  std::string metric;
   double base_y = 0.0;
   double cand_y = 0.0;
   double delta_pct = 0.0;  ///< (cand - base) / base * 100
@@ -34,6 +37,13 @@ struct DiffEntry {
   /// result): compared for the report, but never gated — host throughput is
   /// not deterministic and must not fail CI against a committed baseline.
   bool wall_clock = false;
+  /// True for tail-latency extras (lat_* metrics on serving benches):
+  /// compared and printed so a PR's percentile shifts are visible in the
+  /// diff, but never gated — like wall-clock, by policy rather than
+  /// nondeterminism.  Percentiles move with deliberate latency-model
+  /// recalibration and histogram bucket resolution; the throughput y and
+  /// the shape gates (tools/shapes) are the pass/fail line.
+  bool report_only = false;
 };
 
 struct DiffReport {

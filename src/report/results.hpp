@@ -58,6 +58,13 @@ struct BenchResult {
   /// Additive — readers that predate it ignore the key, so the schema
   /// version is unchanged.  Null when the run was not observed.
   Json observe;
+  /// Optional tail-latency payload from online-serving benches: a map of
+  /// "series/label" -> histogram blob (serve::PhasedLatency::to_json, with
+  /// per-phase p50/p95/p99/max and sparse buckets).  Additive like
+  /// `observe`; null for offline sweeps.  Point-level summaries also ride
+  /// the points' extra metrics (lat_p50_us, ...) so shapecheck and
+  /// benchdiff see them through the ordinary metric path.
+  Json latency;
 
   const ResultSeries* find(const std::string& name) const;
 

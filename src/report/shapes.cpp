@@ -150,6 +150,80 @@ ShapeVerdict eval_one(const ShapeAssert& a, const BenchResult& res) {
                  a.a.series + " >= " + fmt(a.factor) + " * " + a.b.series +
                      " at all " + std::to_string(compared) + " shared points");
   }
+  if (a.type == "monotone_nondec") {
+    const ResultSeries* s = res.find(a.a.series);
+    if (s == nullptr) {
+      return check(a, false, "series '" + a.a.series + "' not in result");
+    }
+    std::vector<const ResultPoint*> pts;
+    for (const auto& p : s->points) {
+      if (want_x(a.xs, p.x)) pts.push_back(&p);
+    }
+    if (pts.size() < 2) {
+      return check(a, false, "series '" + a.a.series + "' has " +
+                                 std::to_string(pts.size()) +
+                                 " comparable points");
+    }
+    std::sort(pts.begin(), pts.end(),
+              [](const ResultPoint* l, const ResultPoint* r) {
+                return l->x < r->x;
+              });
+    for (std::size_t i = 1; i < pts.size(); ++i) {
+      if (!a.a.metric.empty() && pts[i]->metric(a.a.metric) == nullptr) {
+        return check(a, false, "metric '" + a.a.metric + "' not on point x=" +
+                                   fmt(pts[i]->x));
+      }
+      const double prev = point_value(*pts[i - 1], a.a.metric);
+      const double cur = point_value(*pts[i], a.a.metric);
+      if (cur < a.factor * prev) {
+        return check(a, false,
+                     a.a.series + ": y(x=" + fmt(pts[i]->x) + ") = " +
+                         fmt(cur) + " < " + fmt(a.factor) + " * y(x=" +
+                         fmt(pts[i - 1]->x) + ") (" + fmt(prev) + ")");
+      }
+    }
+    return check(a, true,
+                 a.a.series + " non-decreasing (slack " + fmt(a.factor) +
+                     ") over " + std::to_string(pts.size()) + " points");
+  }
+  if (a.type == "metric_ratio_lt") {
+    const ResultSeries* s = res.find(a.a.series);
+    if (s == nullptr) {
+      return check(a, false, "series '" + a.a.series + "' not in result");
+    }
+    if (a.a.metric.empty() && a.b.metric.empty()) {
+      return check(a, false, "metric_ratio_lt needs metrics on a and b");
+    }
+    int compared = 0;
+    for (const auto& p : s->points) {
+      if (!want_x(a.xs, p.x)) continue;
+      const std::string at =
+          p.label.empty() ? "x=" + fmt(p.x) : "'" + p.label + "'";
+      if (!a.a.metric.empty() && p.metric(a.a.metric) == nullptr) {
+        return check(a, false, "metric '" + a.a.metric + "' not on point " +
+                                   a.a.series + "[" + at + "]");
+      }
+      const double num = point_value(p, a.a.metric);
+      const double den = point_value(p, a.b.metric);
+      if (den == 0.0) {
+        return check(a, false,
+                     a.a.series + "[" + at + "]." + a.b.metric + " is zero");
+      }
+      ++compared;
+      const double ratio = num / den;
+      if (ratio >= a.bound) {
+        return check(a, false,
+                     a.a.series + "[" + at + "]: " + a.a.metric + " / " +
+                         a.b.metric + " = " + fmt(num) + " / " + fmt(den) +
+                         " = " + fmt(ratio) + ", want < " + fmt(a.bound));
+      }
+    }
+    if (compared == 0) return check(a, false, "no comparable points");
+    return check(a, true,
+                 a.a.series + ": " + a.a.metric + " / " + a.b.metric +
+                     " < " + fmt(a.bound) + " at all " +
+                     std::to_string(compared) + " points");
+  }
   if (a.type == "knee_at") {
     ShapeRef r = a.a;
     double yb, yk, ya;

@@ -15,6 +15,14 @@
 //                   "series A dominates B"
 //   knee_at       — y(knee)/y(before) >= min_scale (still scaling into the
 //                   knee) AND y(after)/y(knee) <= max_flat (flat past it)
+//   monotone_nondec — series a's values never decrease along ascending x
+//                   (optionally restricted to xs): each consecutive value
+//                   >= factor * its predecessor (factor <= 1 gives slack);
+//                   "throughput is monotone non-decreasing in batch size"
+//   metric_ratio_lt — for EVERY point of series a: metric(a) / metric(b)
+//                   < bound, both metrics read off the same point
+//                   (optionally restricted to xs); "p99/p50 stays within a
+//                   bounded factor across all arrival processes"
 //
 // A reference selects series + point (by x, or by label for categorical
 // sweeps) + metric ("" = the primary y; otherwise a named extra).

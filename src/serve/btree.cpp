@@ -1,0 +1,303 @@
+#include "serve/btree.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "serve/request_gen.hpp"
+
+namespace emusim::serve {
+
+namespace {
+
+/// Routing: in an inner node, kids[i] covers keys < keys[i] (for i <
+/// keys.size()) and kids.back() covers keys >= keys.back().  Equivalently:
+/// keys[i] is the minimum key reachable under kids[i + 1].
+std::size_t route(const BTreeNode& n, std::uint64_t key) {
+  return static_cast<std::size_t>(
+      std::upper_bound(n.keys.begin(), n.keys.end(), key) - n.keys.begin());
+}
+
+std::size_t lower_idx(const BTreeNode& n, std::uint64_t key) {
+  return static_cast<std::size_t>(
+      std::lower_bound(n.keys.begin(), n.keys.end(), key) - n.keys.begin());
+}
+
+}  // namespace
+
+BTreeFamily::BTreeFamily(int max_keys, AllocFn alloc)
+    : max_keys_(max_keys),
+      // 16 B per (key, value) slot plus a header line: what the timed plane
+      // charges the memory system for one node.
+      node_bytes_(64 + static_cast<std::uint64_t>(max_keys) * 16),
+      alloc_(std::move(alloc)) {
+  EMUSIM_CHECK(max_keys_ >= 3);
+  root_ = new_node(/*leaf=*/true);
+}
+
+std::uint32_t BTreeFamily::new_node(bool leaf) {
+  BTreeNode n;
+  n.leaf = leaf;
+  n.addr = alloc_(node_bytes_);
+  nodes_.push_back(std::move(n));
+  return static_cast<std::uint32_t>(nodes_.size() - 1);
+}
+
+void BTreeFamily::path_to(std::uint64_t key,
+                          std::vector<std::uint32_t>* out) const {
+  out->clear();
+  std::uint32_t id = root_;
+  for (;;) {
+    out->push_back(id);
+    const BTreeNode& n = nodes_[id];
+    if (n.leaf) return;
+    id = n.kids[route(n, key)];
+  }
+}
+
+std::uint32_t BTreeFamily::resolve_leaf(std::uint64_t key) const {
+  std::uint32_t id = root_;
+  while (!nodes_[id].leaf) {
+    const BTreeNode& n = nodes_[id];
+    id = n.kids[route(n, key)];
+  }
+  return id;
+}
+
+bool BTreeFamily::lookup(std::uint64_t key, std::uint64_t* val) const {
+  const BTreeNode& leaf = nodes_[resolve_leaf(key)];
+  const std::size_t i = lower_idx(leaf, key);
+  if (i < leaf.keys.size() && leaf.keys[i] == key) {
+    if (val) *val = leaf.vals[i];
+    return true;
+  }
+  return false;
+}
+
+std::uint32_t BTreeFamily::split(std::uint32_t id, std::uint64_t* sep) {
+  // nodes_ may reallocate inside new_node: take copies of what we need and
+  // re-index instead of holding references across the call.
+  const bool leaf = nodes_[id].leaf;
+  const std::uint32_t rid = new_node(leaf);
+  BTreeNode& l = nodes_[id];
+  BTreeNode& r = nodes_[rid];
+  const std::size_t n = l.keys.size();
+  if (leaf) {
+    // Right half moves; the separator is the right sibling's first key.
+    const std::size_t mid = n / 2;
+    *sep = l.keys[mid];
+    r.keys.assign(l.keys.begin() + static_cast<std::ptrdiff_t>(mid),
+                  l.keys.end());
+    r.vals.assign(l.vals.begin() + static_cast<std::ptrdiff_t>(mid),
+                  l.vals.end());
+    l.keys.resize(mid);
+    l.vals.resize(mid);
+    r.next = l.next;
+    l.next = rid;
+  } else {
+    // The middle key moves up; children split around it.
+    const std::size_t mid = n / 2;
+    *sep = l.keys[mid];
+    r.keys.assign(l.keys.begin() + static_cast<std::ptrdiff_t>(mid + 1),
+                  l.keys.end());
+    r.kids.assign(l.kids.begin() + static_cast<std::ptrdiff_t>(mid + 1),
+                  l.kids.end());
+    l.keys.resize(mid);
+    l.kids.resize(mid + 1);
+  }
+  return rid;
+}
+
+UpsertOutcome BTreeFamily::upsert(std::uint64_t key, std::uint64_t val) {
+  UpsertOutcome out;
+  std::vector<std::uint32_t> path;
+  path_to(key, &path);
+  const std::uint32_t leaf_id = path.back();
+  out.leaf = leaf_id;
+  {
+    BTreeNode& leaf = nodes_[leaf_id];
+    const std::size_t i = lower_idx(leaf, key);
+    if (i < leaf.keys.size() && leaf.keys[i] == key) {
+      leaf.vals[i] = val;
+      return out;  // value update: no structural change
+    }
+    leaf.keys.insert(leaf.keys.begin() + static_cast<std::ptrdiff_t>(i), key);
+    leaf.vals.insert(leaf.vals.begin() + static_cast<std::ptrdiff_t>(i), val);
+    out.added = true;
+  }
+  // Split over-full nodes bottom-up along the descent path.
+  for (std::size_t level = path.size(); level-- > 0;) {
+    const std::uint32_t id = path[level];
+    if (nodes_[id].keys.size() <= static_cast<std::size_t>(max_keys_)) break;
+    std::uint64_t sep = 0;
+    const std::uint32_t rid = split(id, &sep);
+    ++out.new_nodes;
+    if (level == 0) {
+      // Root split: grow a new root; the tree gains a level.
+      const std::uint32_t nr = new_node(/*leaf=*/false);
+      ++out.new_nodes;
+      nodes_[nr].keys.push_back(sep);
+      nodes_[nr].kids.push_back(id);
+      nodes_[nr].kids.push_back(rid);
+      root_ = nr;
+      ++height_;
+    } else {
+      BTreeNode& parent = nodes_[path[level - 1]];
+      const std::size_t i = lower_idx(parent, sep);
+      parent.keys.insert(parent.keys.begin() + static_cast<std::ptrdiff_t>(i),
+                         sep);
+      parent.kids.insert(
+          parent.kids.begin() + static_cast<std::ptrdiff_t>(i + 1), rid);
+    }
+    // The leaf holding `key` may be the new right sibling.
+    if (id == out.leaf && sep <= key) out.leaf = rid;
+  }
+  return out;
+}
+
+std::vector<ScanStep> BTreeFamily::scan_plan(std::uint64_t start,
+                                             std::uint32_t len) const {
+  std::vector<ScanStep> plan;
+  std::uint32_t id = resolve_leaf(start);
+  std::size_t i = lower_idx(nodes_[id], start);
+  std::uint32_t remaining = len;
+  while (remaining > 0 && id != kNoNode) {
+    const BTreeNode& leaf = nodes_[id];
+    const auto avail = static_cast<std::uint32_t>(leaf.keys.size() - i);
+    const std::uint32_t take = avail < remaining ? avail : remaining;
+    if (take > 0) plan.push_back(ScanStep{id, take});
+    remaining -= take;
+    id = leaf.next;
+    i = 0;
+  }
+  return plan;
+}
+
+void BTreeFamily::collect(
+    std::vector<std::pair<std::uint64_t, std::uint64_t>>* out) const {
+  std::uint32_t id = root_;
+  while (!nodes_[id].leaf) id = nodes_[id].kids.front();
+  while (id != kNoNode) {
+    const BTreeNode& leaf = nodes_[id];
+    for (std::size_t i = 0; i < leaf.keys.size(); ++i) {
+      out->emplace_back(leaf.keys[i], leaf.vals[i]);
+    }
+    id = leaf.next;
+  }
+}
+
+bool BTreeFamily::check_invariants(std::string* err) const {
+  auto fail = [err](const std::string& m) {
+    if (err) *err = m;
+    return false;
+  };
+  // Walk the tree checking structure and the (lo, hi) key window each
+  // subtree must stay inside; record leaf depths.
+  struct Frame {
+    std::uint32_t id;
+    int depth;
+    std::uint64_t lo, hi;  ///< keys must satisfy lo <= k < hi
+    bool has_lo, has_hi;
+  };
+  std::vector<Frame> stack{{root_, 1, 0, 0, false, false}};
+  int leaf_depth = -1;
+  std::size_t leaf_keys = 0;
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    const BTreeNode& n = nodes_[f.id];
+    if (n.keys.size() > static_cast<std::size_t>(max_keys_)) {
+      return fail("node over fanout");
+    }
+    if (!std::is_sorted(n.keys.begin(), n.keys.end())) {
+      return fail("unsorted keys");
+    }
+    for (const std::uint64_t k : n.keys) {
+      if ((f.has_lo && k < f.lo) || (f.has_hi && k >= f.hi)) {
+        return fail("key outside routing window");
+      }
+    }
+    if (n.leaf) {
+      if (!n.kids.empty()) return fail("leaf with children");
+      if (n.keys.size() != n.vals.size()) return fail("leaf keys/vals skew");
+      if (leaf_depth == -1) leaf_depth = f.depth;
+      if (leaf_depth != f.depth) return fail("uneven leaf depth");
+      leaf_keys += n.keys.size();
+      continue;
+    }
+    if (n.kids.size() != n.keys.size() + 1) return fail("inner child count");
+    if (n.keys.empty()) return fail("empty inner node");
+    for (std::size_t i = 0; i < n.kids.size(); ++i) {
+      Frame c{n.kids[i], f.depth + 1, f.lo, f.hi, f.has_lo, f.has_hi};
+      if (i > 0) {
+        c.lo = n.keys[i - 1];
+        c.has_lo = true;
+      }
+      if (i < n.keys.size()) {
+        c.hi = n.keys[i];
+        c.has_hi = true;
+      }
+      stack.push_back(c);
+    }
+  }
+  if (leaf_depth != height_) return fail("height out of date");
+  // The leaf chain must enumerate every key, in strictly increasing order.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> all;
+  collect(&all);
+  if (all.size() != leaf_keys) return fail("leaf chain misses keys");
+  for (std::size_t i = 1; i < all.size(); ++i) {
+    if (all[i - 1].first >= all[i].first) return fail("leaf chain unordered");
+  }
+  return true;
+}
+
+BTreeForest::BTreeForest(int num_families, std::uint64_t key_space,
+                         int max_keys, AllocFn alloc)
+    : range_ops(static_cast<std::size_t>(num_families), 0),
+      key_space_(key_space),
+      range_((key_space + static_cast<std::uint64_t>(num_families) - 1) /
+             static_cast<std::uint64_t>(num_families)) {
+  EMUSIM_CHECK(num_families >= 1);
+  EMUSIM_CHECK(key_space >= static_cast<std::uint64_t>(num_families));
+  families_.reserve(static_cast<std::size_t>(num_families));
+  for (int f = 0; f < num_families; ++f) {
+    families_.emplace_back(max_keys, [alloc, f](std::uint64_t bytes) {
+      return alloc(f, bytes);
+    });
+  }
+}
+
+void BTreeForest::preload_even() {
+  for (std::uint64_t k = 0; k < key_space_; k += 2) {
+    families_[static_cast<std::size_t>(family_of(k))].upsert(k,
+                                                             value_of_key(k));
+  }
+}
+
+std::size_t BTreeForest::total_nodes() const {
+  std::size_t n = 0;
+  for (const auto& f : families_) n += f.num_nodes();
+  return n;
+}
+
+std::uint64_t BTreeForest::total_keys() const {
+  std::uint64_t n = 0;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> all;
+  for (const auto& f : families_) {
+    all.clear();
+    f.collect(&all);
+    n += all.size();
+  }
+  return n;
+}
+
+bool BTreeForest::check_all(std::string* err) const {
+  for (std::size_t f = 0; f < families_.size(); ++f) {
+    if (!families_[f].check_invariants(err)) {
+      if (err) *err = "family " + std::to_string(f) + ": " + *err;
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace emusim::serve

@@ -1,0 +1,113 @@
+#include "serve/latency.hpp"
+
+#include <bit>
+
+#include "common/check.hpp"
+
+namespace emusim::serve {
+
+std::size_t LatencyRecorder::bucket_of(Time v) {
+  if (v < 0) v = 0;
+  const auto u = static_cast<std::uint64_t>(v);
+  if (u < kSubBuckets) return static_cast<std::size_t>(u);
+  const int msb = 63 - std::countl_zero(u);
+  const std::uint64_t top = u >> (msb - kSubBucketBits);  // [32, 64)
+  return static_cast<std::size_t>(
+      (static_cast<std::uint64_t>(msb - kSubBucketBits + 1) << kSubBucketBits) +
+      (top - kSubBuckets));
+}
+
+Time LatencyRecorder::bucket_upper(std::size_t i) {
+  if (i < kSubBuckets) return static_cast<Time>(i);
+  const std::size_t octave = (i >> kSubBucketBits) - 1;
+  const std::uint64_t sub = i & (kSubBuckets - 1);
+  const std::uint64_t low = (kSubBuckets + sub) << octave;
+  return static_cast<Time>(low + ((1ULL << octave) - 1));
+}
+
+void LatencyRecorder::record(Time v) {
+  if (v < 0) v = 0;
+  ++buckets_[bucket_of(v)];
+  ++count_;
+  sum_ += v;
+  if (v > max_) max_ = v;
+}
+
+Time LatencyRecorder::percentile(double q) const {
+  if (count_ == 0) return 0;
+  EMUSIM_CHECK(q > 0.0 && q <= 1.0);
+  // Nearest rank: the smallest k with cumulative(k) >= ceil(q * count).
+  auto rank = static_cast<std::uint64_t>(q * static_cast<double>(count_));
+  if (static_cast<double>(rank) < q * static_cast<double>(count_)) ++rank;
+  if (rank == 0) rank = 1;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) {
+      // The topmost occupied bucket's upper edge may exceed the exact max;
+      // the max is tracked exactly, so clamp to it.
+      const Time edge = bucket_upper(i);
+      return edge < max_ ? edge : max_;
+    }
+  }
+  return max_;  // unreachable when counts are consistent
+}
+
+void LatencyRecorder::merge(const LatencyRecorder& o) {
+  for (std::size_t i = 0; i < kNumBuckets; ++i) buckets_[i] += o.buckets_[i];
+  count_ += o.count_;
+  sum_ += o.sum_;
+  if (o.max_ > max_) max_ = o.max_;
+}
+
+report::Json LatencyRecorder::to_json() const {
+  report::Json j = report::Json::object();
+  j.set("count", report::Json::number(static_cast<double>(count_)));
+  j.set("max_ps", report::Json::number(static_cast<double>(max_)));
+  j.set("sum_ps", report::Json::number(static_cast<double>(sum_)));
+  j.set("p50_ps", report::Json::number(static_cast<double>(p50())));
+  j.set("p95_ps", report::Json::number(static_cast<double>(p95())));
+  j.set("p99_ps", report::Json::number(static_cast<double>(p99())));
+  report::Json buckets = report::Json::array();
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
+    report::Json pair = report::Json::array();
+    pair.push_back(report::Json::number(static_cast<double>(i)));
+    pair.push_back(report::Json::number(static_cast<double>(buckets_[i])));
+    buckets.push_back(std::move(pair));
+  }
+  j.set("buckets", std::move(buckets));
+  return j;
+}
+
+PhasedLatency::PhasedLatency(std::vector<std::string> phases) {
+  phases_.reserve(phases.size());
+  for (auto& name : phases) phases_.emplace_back(std::move(name),
+                                                 LatencyRecorder{});
+}
+
+void PhasedLatency::record(std::size_t phase, Time v) {
+  EMUSIM_CHECK(phase < phases_.size());
+  overall_.record(v);
+  phases_[phase].second.record(v);
+}
+
+void PhasedLatency::merge(const PhasedLatency& o) {
+  EMUSIM_CHECK(phases_.size() == o.phases_.size());
+  overall_.merge(o.overall_);
+  for (std::size_t i = 0; i < phases_.size(); ++i) {
+    EMUSIM_CHECK(phases_[i].first == o.phases_[i].first);
+    phases_[i].second.merge(o.phases_[i].second);
+  }
+}
+
+report::Json PhasedLatency::to_json() const {
+  report::Json j = report::Json::object();
+  j.set("overall", overall_.to_json());
+  report::Json ph = report::Json::object();
+  for (const auto& [name, rec] : phases_) ph.set(name, rec.to_json());
+  j.set("phases", std::move(ph));
+  return j;
+}
+
+}  // namespace emusim::serve

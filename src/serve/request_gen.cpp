@@ -1,0 +1,129 @@
+#include "serve/request_gen.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "sim/random.hpp"
+
+namespace emusim::serve {
+
+const char* to_string(OpKind k) {
+  switch (k) {
+    case OpKind::lookup: return "lookup";
+    case OpKind::insert: return "insert";
+    case OpKind::scan: return "scan";
+  }
+  return "?";
+}
+
+const char* to_string(Arrival a) {
+  switch (a) {
+    case Arrival::uniform: return "uniform";
+    case Arrival::zipf: return "zipf";
+    case Arrival::bursty: return "bursty";
+  }
+  return "?";
+}
+
+bool arrival_from_string(const std::string& s, Arrival* out) {
+  if (s == "uniform") { *out = Arrival::uniform; return true; }
+  if (s == "zipf") { *out = Arrival::zipf; return true; }
+  if (s == "bursty") { *out = Arrival::bursty; return true; }
+  return false;
+}
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double theta) {
+  EMUSIM_CHECK(n >= 1);
+  EMUSIM_CHECK(theta >= 0.0);
+  cdf_.resize(static_cast<std::size_t>(n));
+  double total = 0.0;
+  for (std::size_t r = 0; r < cdf_.size(); ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r + 1), theta);
+    cdf_[r] = total;
+  }
+  for (auto& c : cdf_) c /= total;
+}
+
+std::uint64_t ZipfSampler::rank(double u) const {
+  const auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+  const auto r = static_cast<std::size_t>(it - cdf_.begin());
+  return r < cdf_.size() ? r : cdf_.size() - 1;
+}
+
+std::uint64_t value_of_key(std::uint64_t key) {
+  std::uint64_t s = key ^ 0x5E12F0C5ULL;
+  return sim::splitmix64(s);
+}
+
+namespace {
+
+/// Exponential inter-arrival with the given mean, from one uniform draw.
+/// Clamped to >= 1 ps so arrivals strictly advance within a busy stream.
+/// A zero mean (closed loop) still consumes its draw, so the key/op
+/// sequence is identical across open- and closed-loop replays.
+Time exp_gap(sim::Rng& rng, Time mean) {
+  const double u = rng.uniform();
+  const double g = -std::log1p(-u) * static_cast<double>(mean);
+  const auto t = static_cast<Time>(g);
+  return t > 0 ? t : 1;
+}
+
+}  // namespace
+
+std::vector<Request> generate_stream(const StreamParams& p) {
+  EMUSIM_CHECK(p.batch >= 1);
+  EMUSIM_CHECK(p.key_space >= 4);
+  EMUSIM_CHECK(p.lookup_pct + p.insert_pct + p.scan_pct == 100);
+  std::size_t batches = p.requests / p.batch;
+  if (batches == 0) batches = 1;
+
+  sim::Rng rng(p.seed);
+  // The zipf CDF covers the preloaded (even-key) grid; rank r maps to key
+  // 2r, so popular ranks cluster into the lowest key range.
+  const std::uint64_t grid = p.key_space / 2;  // number of even keys
+  ZipfSampler zipf(p.process == Arrival::zipf ? grid : 1,
+                   p.zipf_theta);
+
+  std::vector<Request> out;
+  out.reserve(batches * p.batch);
+  Time t = 0;
+  const Time batch_gap_mean =
+      static_cast<Time>(p.batch) * p.mean_interarrival;
+  const Time period = p.burst_on + p.burst_off;
+  for (std::size_t b = 0; b < batches; ++b) {
+    t += exp_gap(rng, batch_gap_mean);
+    if (p.process == Arrival::bursty) {
+      // Arrivals exist only inside the on-window: a batch landing in the
+      // off-window slides to the start of the next period.
+      const Time phase = t % period;
+      if (phase >= p.burst_on) t += period - phase;
+    }
+    for (std::size_t i = 0; i < p.batch; ++i) {
+      Request r;
+      r.arrival = t;
+      const std::uint64_t mix = rng.below(100);
+      if (mix < static_cast<std::uint64_t>(p.lookup_pct)) {
+        r.op = OpKind::lookup;
+      } else if (mix < static_cast<std::uint64_t>(p.lookup_pct +
+                                                  p.insert_pct)) {
+        r.op = OpKind::insert;
+      } else {
+        r.op = OpKind::scan;
+        r.scan_len = p.scan_len;
+      }
+      // Pick a slot on the even-key grid per the key distribution, then
+      // branch: lookups/scans target the preloaded even key, inserts the
+      // odd key above it (new keys that grow the tree).
+      const std::uint64_t slot = p.process == Arrival::zipf
+                                     ? zipf.rank(rng.uniform())
+                                     : rng.below(grid);
+      const std::uint64_t even = slot * 2;
+      r.key = r.op == OpKind::insert ? even + 1 : even;
+      out.push_back(r);
+    }
+  }
+  return out;
+}
+
+}  // namespace emusim::serve

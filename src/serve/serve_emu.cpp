@@ -1,0 +1,189 @@
+#include "serve/service.hpp"
+
+#include <coroutine>
+
+#include "common/check.hpp"
+#include "emu/machine.hpp"
+
+namespace emusim::serve {
+
+using emu::Context;
+using emu::Machine;
+
+namespace {
+
+constexpr std::uint64_t kTraverseCycles = 8;  ///< per-node key comparisons
+constexpr std::uint64_t kUpsertCycles = 120;  ///< leaf edit + bookkeeping
+constexpr std::uint64_t kScanCyclesPerElem = 2;
+
+/// Per-shard accumulators.  A request records on the shard that owns its
+/// family's nodelet; shards never share an entry, and the entries merge in
+/// shard order afterwards — the same scheme MachineStats uses.
+struct ShardTally {
+  PhasedLatency lat{op_phases()};
+  std::uint64_t lookups = 0, hits = 0, inserts = 0, added = 0;
+  std::uint64_t scans = 0, scanned = 0, bad = 0;
+};
+
+/// Awaitable: park until the absolute simulated instant `t`.
+struct SleepUntil {
+  sim::Engine& eng;
+  Time t;
+  bool await_ready() const noexcept { return eng.now() >= t; }
+  void await_suspend(std::coroutine_handle<> h) { eng.schedule(t, h); }
+  void await_resume() const noexcept {}
+};
+
+/// One request, executed by its own threadlet born on the family's nodelet.
+/// Everything here — tree access, counters, latency recording — is local to
+/// that nodelet's shard.
+sim::Op<> serve_one(Context& ctx, BTreeForest* forest, Request req,
+                    std::vector<ShardTally>* tallies, Time t0) {
+  const int fam = ctx.nodelet();
+  BTreeFamily& t = forest->family(fam);
+  ++forest->range_ops[static_cast<std::size_t>(fam)];
+  ShardTally& tally = (*tallies)[static_cast<std::size_t>(ctx.shard())];
+
+  std::vector<std::uint32_t> path;
+  t.path_to(req.key, &path);
+  for (const std::uint32_t id : path) {
+    co_await ctx.issue(kTraverseCycles);
+    co_await ctx.read_local(t.node(id).addr, 64);
+  }
+
+  switch (req.op) {
+    case OpKind::lookup: {
+      std::uint64_t v = 0;
+      const bool hit = t.lookup(req.key, &v);
+      ++tally.lookups;
+      if (hit && v == value_of_key(req.key)) {
+        ++tally.hits;
+      } else {
+        ++tally.bad;  // every lookup targets a preloaded key
+      }
+      break;
+    }
+    case OpKind::insert: {
+      co_await ctx.issue(kUpsertCycles);
+      const UpsertOutcome o = t.upsert(req.key, value_of_key(req.key));
+      ctx.write_local(t.node(o.leaf).addr, 64);
+      for (int i = 0; i < o.new_nodes; ++i) {
+        const auto id =
+            static_cast<std::uint32_t>(t.num_nodes() - 1 -
+                                       static_cast<std::size_t>(i));
+        ctx.write_local(t.node(id).addr, 64);
+      }
+      ++tally.inserts;
+      tally.added += o.added ? 1 : 0;
+      break;
+    }
+    case OpKind::scan: {
+      const auto plan = t.scan_plan(req.key, req.scan_len);
+      std::uint64_t visited = 0;
+      for (const ScanStep& step : plan) {
+        co_await ctx.issue(step.elems * kScanCyclesPerElem);
+        co_await ctx.read_local(t.node(step.leaf).addr,
+                                step.elems * 16);
+        visited += step.elems;
+      }
+      ++tally.scans;
+      tally.scanned += visited;
+      break;
+    }
+  }
+  tally.lat.record(static_cast<std::size_t>(req.op),
+                   ctx.engine().now() - t0 - req.arrival);
+}
+
+/// Warm one family: read every node once on its owning nodelet.
+sim::Op<> warm_family(Context& ctx, BTreeForest* forest) {
+  const BTreeFamily& t = forest->family(ctx.nodelet());
+  for (std::size_t id = 0; id < t.num_nodes(); ++id) {
+    co_await ctx.read_local(t.node(static_cast<std::uint32_t>(id)).addr, 64);
+  }
+}
+
+/// The frontend: waits for each batch's arrival, remote-spawns one
+/// threadlet per request at the owning nodelet, and syncs — the sync is the
+/// per-batch completion barrier that bounds the backlog.
+sim::Op<> dispatch(Context& ctx, const std::vector<Request>* stream,
+                   std::size_t batch, bool warmup, BTreeForest* forest,
+                   std::vector<ShardTally>* tallies, Time* t0) {
+  if (warmup) {
+    for (int f = 0; f < forest->num_families(); ++f) {
+      co_await ctx.spawn_at(f, [forest](Context& c) {
+        return warm_family(c, forest);
+      });
+    }
+    co_await ctx.sync();
+  }
+  *t0 = ctx.engine().now();  // the arrival clock starts after warmup
+  for (std::size_t i = 0; i < stream->size(); i += batch) {
+    co_await SleepUntil{ctx.engine(), *t0 + (*stream)[i].arrival};
+    const std::size_t end =
+        i + batch < stream->size() ? i + batch : stream->size();
+    for (std::size_t j = i; j < end; ++j) {
+      const Request r = (*stream)[j];
+      const int dest = forest->family_of(r.key);
+      co_await ctx.spawn_at(dest, [forest, r, tallies, t0](Context& c) {
+        return serve_one(c, forest, r, tallies, *t0);
+      });
+    }
+    co_await ctx.sync();
+  }
+}
+
+}  // namespace
+
+ServeResult serve_emu(const emu::SystemConfig& cfg, const ServeParams& p) {
+  Machine m(cfg);
+  // One family per nodelet: the key-range partition IS the data placement,
+  // so family_of(key) doubles as the spawn destination.
+  const int nf = m.num_nodelets();
+  BTreeForest forest(nf, p.stream.key_space, p.fanout,
+                     [&m](int f, std::uint64_t bytes) {
+                       return m.nodelet(f).allocate(bytes, 8);
+                     });
+  forest.preload_even();
+  const auto stream = generate_stream(p.stream);
+  std::vector<ShardTally> tallies(
+      static_cast<std::size_t>(m.num_shards()));
+
+  Time t0 = 0;
+  m.run_root([&](Context& ctx) {
+    return dispatch(ctx, &stream, p.stream.batch, p.warmup, &forest,
+                    &tallies, &t0);
+  });
+  const Time elapsed = m.engine().now() - t0;  // excludes warmup
+
+  ServeResult r;
+  r.elapsed = elapsed;
+  r.ops = stream.size();
+  r.mops_per_sec = elapsed > 0 ? static_cast<double>(r.ops) /
+                                     to_seconds(elapsed) / 1e6
+                               : 0.0;
+  std::uint64_t bad = 0;
+  for (const ShardTally& t : tallies) {
+    r.lat.merge(t.lat);
+    r.lookups += t.lookups;
+    r.hits += t.hits;
+    r.inserts += t.inserts;
+    r.added += t.added;
+    r.scans += t.scans;
+    r.scanned += t.scanned;
+    bad += t.bad;
+  }
+  r.range_ops = forest.range_ops;
+  r.verified = verify_forest(forest, stream, &r.error);
+  if (r.verified && bad != 0) {
+    r.verified = false;
+    r.error = std::to_string(bad) + " lookups missed or saw stale values";
+  }
+  if (r.verified && r.lat.overall().count() != r.ops) {
+    r.verified = false;
+    r.error = "latency samples != ops";
+  }
+  return r;
+}
+
+}  // namespace emusim::serve

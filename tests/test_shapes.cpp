@@ -327,4 +327,180 @@ TEST(Diff, CandidateOnlyDataIsIgnored) {
   EXPECT_EQ(rep.entries.size(), 8u);
 }
 
+// --- serving shapes and latency diffs --------------------------------------
+
+/// A serving-bench-shaped result: labeled arrival-process points carrying
+/// lat_* extras, plus a closed-loop batch sweep.
+BenchResult serving_result() {
+  BenchResult r;
+  r.bench = "serving_sample";
+  r.x_axis = "batch";
+  r.y_axis = "mops_per_sec";
+  r.quick = true;
+  ResultSeries emu;
+  emu.name = "emu";
+  emu.points = {
+      {0, 0.44, "uniform", {{"lat_p50_us", 12.8}, {"lat_p99_us", 34.6}}},
+      {1, 0.43, "zipf", {{"lat_p50_us", 41.9}, {"lat_p99_us", 142.6}}},
+      {2, 0.26, "bursty", {{"lat_p50_us", 12.6}, {"lat_p99_us", 32.5}}}};
+  ResultSeries sweep;
+  sweep.name = "emu_batch";
+  // Deliberately out of x order: monotone_nondec must sort by x itself.
+  sweep.points = {{32, 0.74, "", {}}, {8, 0.62, "", {}}, {128, 0.76, "", {}}};
+  r.series = {emu, sweep};
+  r.fingerprint = emusim::report::result_fingerprint(r);
+  return r;
+}
+
+TEST(Shapes, MonotoneNondecSortsByXAndRespectsSlack) {
+  const ShapeSpec pass = parse_spec(R"({
+    "schema_version": 1, "bench": "serving_sample", "asserts": [
+      {"type": "monotone_nondec", "a": {"series": "emu_batch"}},
+      {"type": "monotone_nondec", "a": {"series": "emu_batch"},
+       "xs": [8, 32]}
+    ]})");
+  for (const auto& v : emusim::report::evaluate(pass, serving_result())) {
+    EXPECT_TRUE(v.pass) << v.desc << ": " << v.detail;
+  }
+
+  BenchResult dipped = serving_result();
+  dipped.series[1].points[0].y = 0.5;  // x=32 dips below x=8's 0.62
+  const ShapeSpec strict = parse_spec(R"({
+    "schema_version": 1, "bench": "serving_sample", "asserts": [
+      {"type": "monotone_nondec", "a": {"series": "emu_batch"}}
+    ]})");
+  auto verdicts = emusim::report::evaluate(strict, dipped);
+  ASSERT_EQ(verdicts.size(), 1u);
+  EXPECT_FALSE(verdicts[0].pass);
+  EXPECT_NE(verdicts[0].detail.find("x=32"), std::string::npos);
+
+  // A generous slack factor forgives the same dip.
+  const ShapeSpec slack = parse_spec(R"({
+    "schema_version": 1, "bench": "serving_sample", "asserts": [
+      {"type": "monotone_nondec", "a": {"series": "emu_batch"},
+       "factor": 0.7}
+    ]})");
+  verdicts = emusim::report::evaluate(slack, dipped);
+  ASSERT_EQ(verdicts.size(), 1u);
+  EXPECT_TRUE(verdicts[0].pass) << verdicts[0].detail;
+}
+
+TEST(Shapes, MonotoneNondecFailsOnMissingData) {
+  const ShapeSpec spec = parse_spec(R"({
+    "schema_version": 1, "bench": "serving_sample", "asserts": [
+      {"type": "monotone_nondec", "a": {"series": "ghost"}},
+      {"type": "monotone_nondec", "a": {"series": "emu_batch"},
+       "xs": [8]},
+      {"type": "monotone_nondec", "a": {"series": "emu_batch",
+       "metric": "no_such_metric"}}
+    ]})");
+  const auto verdicts = emusim::report::evaluate(spec, serving_result());
+  ASSERT_EQ(verdicts.size(), 3u);
+  for (const auto& v : verdicts) {
+    EXPECT_FALSE(v.pass) << v.desc << ": " << v.detail;
+  }
+}
+
+TEST(Shapes, MetricRatioLtQuantifiesOverEveryPoint) {
+  const ShapeSpec pass = parse_spec(R"({
+    "schema_version": 1, "bench": "serving_sample", "asserts": [
+      {"type": "metric_ratio_lt", "a": {"series": "emu",
+       "metric": "lat_p99_us"}, "b": {"series": "emu",
+       "metric": "lat_p50_us"}, "bound": 6.0}
+    ]})");
+  for (const auto& v : emusim::report::evaluate(pass, serving_result())) {
+    EXPECT_TRUE(v.pass) << v.desc << ": " << v.detail;
+  }
+
+  // Tighten the bound below the zipf point's 142.6/41.9 = 3.4: the verdict
+  // must fail and name the offending point.
+  const ShapeSpec tight = parse_spec(R"({
+    "schema_version": 1, "bench": "serving_sample", "asserts": [
+      {"type": "metric_ratio_lt", "a": {"series": "emu",
+       "metric": "lat_p99_us"}, "b": {"series": "emu",
+       "metric": "lat_p50_us"}, "bound": 3.0}
+    ]})");
+  const auto verdicts = emusim::report::evaluate(tight, serving_result());
+  ASSERT_EQ(verdicts.size(), 1u);
+  EXPECT_FALSE(verdicts[0].pass);
+  EXPECT_NE(verdicts[0].detail.find("zipf"), std::string::npos);
+}
+
+TEST(Shapes, MetricRatioLtFailsOnMissingOrZeroMetrics) {
+  const ShapeSpec spec = parse_spec(R"({
+    "schema_version": 1, "bench": "serving_sample", "asserts": [
+      {"type": "metric_ratio_lt", "a": {"series": "ghost",
+       "metric": "lat_p99_us"}, "b": {"series": "ghost",
+       "metric": "lat_p50_us"}, "bound": 6.0},
+      {"type": "metric_ratio_lt", "a": {"series": "emu",
+       "metric": "no_such"}, "b": {"series": "emu",
+       "metric": "lat_p50_us"}, "bound": 6.0},
+      {"type": "metric_ratio_lt", "a": {"series": "emu",
+       "metric": "lat_p99_us"}, "b": {"series": "emu",
+       "metric": "no_such"}, "bound": 6.0},
+      {"type": "metric_ratio_lt", "a": {"series": "emu"},
+       "b": {"series": "emu"}, "bound": 6.0}
+    ]})");
+  const auto verdicts = emusim::report::evaluate(spec, serving_result());
+  ASSERT_EQ(verdicts.size(), 4u);
+  for (const auto& v : verdicts) {
+    EXPECT_FALSE(v.pass) << v.desc << ": " << v.detail;
+  }
+}
+
+TEST(Diff, LatencyExtrasReportButNeverGate) {
+  const std::vector<BenchResult> base = {serving_result()};
+  std::vector<BenchResult> cand = base;
+  // Blow up a tail by 10x: visible in the report, but never a regression —
+  // only the primary throughput y gates.
+  for (auto& p : cand[0].series[0].points) {
+    for (auto& [k, v] : p.extra) {
+      if (k == "lat_p99_us") v *= 10.0;
+    }
+  }
+  DiffOptions opt;
+  const auto rep = emusim::report::diff_results(base, cand, opt);
+  EXPECT_TRUE(rep.ok(opt));
+  EXPECT_EQ(rep.regressions, 0);
+  int latency_entries = 0;
+  for (const auto& e : rep.entries) {
+    if (e.metric.empty()) continue;
+    EXPECT_TRUE(e.report_only);
+    EXPECT_FALSE(e.regression);
+    EXPECT_EQ(e.metric.rfind("lat_", 0), 0u);
+    ++latency_entries;
+  }
+  // 3 labeled emu points x {lat_p50_us, lat_p99_us}.
+  EXPECT_EQ(latency_entries, 6);
+
+  // ...but a throughput regression on the same points still gates.
+  cand[0].series[0].points[1].y *= 0.5;
+  const auto rep2 = emusim::report::diff_results(base, cand, opt);
+  EXPECT_FALSE(rep2.ok(opt));
+  EXPECT_EQ(rep2.regressions, 1);
+}
+
+TEST(Results, LatencyBlobRoundTripsThroughJson) {
+  BenchResult r = serving_result();
+  Json blob = Json::object();
+  Json hist = Json::object();
+  hist.set("count", Json::number(128));
+  hist.set("p99_ps", Json::number(142600000));
+  blob.set("emu/zipf", std::move(hist));
+  r.latency = std::move(blob);
+  BenchResult back;
+  std::string err;
+  ASSERT_TRUE(BenchResult::from_json(r.to_json(), &back, &err)) << err;
+  ASSERT_FALSE(back.latency.is_null());
+  const Json* hist_back = back.latency.find("emu/zipf");
+  ASSERT_NE(hist_back, nullptr);
+  EXPECT_DOUBLE_EQ(hist_back->get_number("count"), 128.0);
+  // Results without the additive key stay null through the round trip.
+  BenchResult plain = sample_result();
+  BenchResult plain_back;
+  ASSERT_TRUE(
+      BenchResult::from_json(plain.to_json(), &plain_back, &err)) << err;
+  EXPECT_TRUE(plain_back.latency.is_null());
+}
+
 }  // namespace

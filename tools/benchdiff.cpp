@@ -110,11 +110,14 @@ int main(int argc, char** argv) {
     if (!e.regression && !verbose) continue;
     const std::string pt =
         e.label.empty() ? "x=" + std::to_string(e.x) : e.label;
+    const std::string what =
+        e.metric.empty() ? e.series : e.series + ":" + e.metric;
     std::printf("%s %s/%s %s: %.4g -> %.4g (%+.2f%%)\n",
                 e.regression     ? "REGRESSION"
+                : e.report_only  ? "latency   "
                 : e.wall_clock   ? "wall-clock"
                                  : "ok        ",
-                e.bench.c_str(), e.series.c_str(), pt.c_str(), e.base_y,
+                e.bench.c_str(), what.c_str(), pt.c_str(), e.base_y,
                 e.cand_y, e.delta_pct);
   }
   std::printf(

@@ -37,6 +37,13 @@ def strip_wall_fields(result):
 
 
 def run(binary, flag, n, extra):
+    # A listed-but-unbuilt bench must fail the gate, not die in a confusing
+    # FileNotFoundError inside subprocess: CI loops over bench names, and a
+    # typo'd or dropped binary silently skipping would hollow out the gate.
+    if not (os.path.isfile(binary) and os.access(binary, os.X_OK)):
+        sys.exit(f"check_jobs_determinism: bench binary '{binary}' does not "
+                 f"exist or is not executable — build it (or fix the gate's "
+                 f"bench list)")
     with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
         path = tmp.name
     try:
