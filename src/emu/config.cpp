@@ -1,6 +1,31 @@
 #include "emu/config.hpp"
 
+#include "common/check.hpp"
+
 namespace emusim::emu {
+
+void SystemConfig::validate() const {
+  EMUSIM_CHECK_MSG(nodes >= 1, name.c_str());
+  EMUSIM_CHECK_MSG(nodelets_per_node >= 1, name.c_str());
+  EMUSIM_CHECK_MSG(gcs_per_nodelet >= 1, name.c_str());
+  EMUSIM_CHECK_MSG(threadlet_slots_per_gc >= 1, name.c_str());
+  // Overflow headroom for int index arithmetic (total_nodelets, nodelet ->
+  // node mapping, slot counts).  Divide rather than multiply so the guard
+  // itself cannot overflow.
+  EMUSIM_CHECK_MSG(nodes <= kMaxTotalNodelets / nodelets_per_node,
+                   "total_nodelets exceeds kMaxTotalNodelets");
+  EMUSIM_CHECK_MSG(
+      gcs_per_nodelet <= kMaxSlotsPerNodelet / threadlet_slots_per_gc,
+      "slots_per_nodelet exceeds kMaxSlotsPerNodelet");
+  EMUSIM_CHECK_MSG(gc_clock_hz > 0.0, name.c_str());
+  EMUSIM_CHECK_MSG(migrations_per_sec > 0.0, name.c_str());
+  EMUSIM_CHECK_MSG(migration_latency >= 0, name.c_str());
+  EMUSIM_CHECK_MSG(internode_bytes_per_sec > 0.0, name.c_str());
+  // Multi-node machines run their shards under conservative windows with
+  // lookahead = internode_latency; a non-positive lookahead cannot advance.
+  EMUSIM_CHECK_MSG(nodes == 1 || internode_latency > 0,
+                   "multi-node config needs a positive internode latency");
+}
 
 SystemConfig SystemConfig::chick_hw() {
   SystemConfig c;
@@ -42,9 +67,19 @@ SystemConfig SystemConfig::chick_fullspeed() {
 }
 
 SystemConfig SystemConfig::fullspeed_multinode(int nodes) {
+  EMUSIM_CHECK_MSG(nodes >= 1, "fullspeed_multinode wants nodes >= 1");
   SystemConfig c = chick_fullspeed();
   c.name = "fullspeed_" + std::to_string(nodes) + "node";
   c.nodes = nodes;
+  c.validate();
+  return c;
+}
+
+SystemConfig SystemConfig::chick_fullspeed_nx(int nodelets) {
+  EMUSIM_CHECK_MSG(nodelets >= 8 && nodelets % 8 == 0,
+                   "chick_fullspeed_nx wants a positive multiple of 8");
+  SystemConfig c = fullspeed_multinode(nodelets / 8);
+  c.name = "chick_fullspeed_" + std::to_string(nodelets) + "x";
   return c;
 }
 

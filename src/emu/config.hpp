@@ -12,6 +12,8 @@
 //                       nodelet (256 threadlets), NCDRAM-2133.
 //   fullspeed_multinode — chick_fullspeed scaled to N node cards (Fig 11
 //                       uses 8 nodes = 64 nodelets).
+//   chick_fullspeed_nx — fullspeed_multinode addressed by total nodelet
+//                       count (64/256/1024 for the ROADMAP scaling sweeps).
 #pragma once
 
 #include <string>
@@ -65,10 +67,27 @@ struct SystemConfig {
   }
   Time cycle() const { return period_from_hz(gc_clock_hz); }
 
+  /// Topology caps enforced by validate().  Nodelet and slot indices (and
+  /// their products with small factors) are ints throughout the machine
+  /// model; capping each factor at 2^20 leaves >2000x headroom to INT_MAX
+  /// for every per-nodelet index computation while comfortably covering the
+  /// 64-1024 nodelet scaling sweeps (ROADMAP item 3).
+  static constexpr int kMaxTotalNodelets = 1 << 20;
+  static constexpr int kMaxSlotsPerNodelet = 1 << 20;
+
+  /// Abort (EMUSIM_CHECK) on non-positive topology factors, index-overflow
+  /// headroom violations, or non-physical rate/latency parameters.  Machine
+  /// construction validates; the named factories validate what they build.
+  void validate() const;
+
   static SystemConfig chick_hw();
   static SystemConfig chick_as_simulated();
   static SystemConfig chick_fullspeed();
   static SystemConfig fullspeed_multinode(int nodes);
+  /// The scaling family by total nodelet count: nodelets must be a positive
+  /// multiple of 8 (one node card = 8 nodelets).  64 reproduces Fig 11's
+  /// projection; 256 and 1024 are the beyond-paper sweep points.
+  static SystemConfig chick_fullspeed_nx(int nodelets);
 };
 
 }  // namespace emusim::emu

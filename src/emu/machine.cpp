@@ -18,6 +18,11 @@ thread_local std::size_t g_engine_footprint_hint = 0;
 // Thread-local for the same reason as the observer: each sweep worker
 // decides independently how its machines run their shards.
 thread_local int g_engine_threads = 1;
+
+// Per-thread run telemetry (see RunTelemetry in the header): machines fold
+// their engine event counts and footprint peak in at destruction; benches
+// consume with take_run_telemetry() after a point's machines are gone.
+thread_local RunTelemetry g_run_telemetry;
 }  // namespace
 
 MachineObserver* set_machine_observer(MachineObserver* obs) {
@@ -35,6 +40,12 @@ int set_engine_threads(int n) {
 }
 
 int engine_threads() { return g_engine_threads; }
+
+RunTelemetry take_run_telemetry() {
+  const RunTelemetry r = g_run_telemetry;
+  g_run_telemetry = RunTelemetry{};
+  return r;
+}
 
 Nodelet::Nodelet(sim::Engine& eng, const SystemConfig& cfg, int index)
     : index_(index),
@@ -57,13 +68,12 @@ Machine::Machine(const SystemConfig& cfg)
       set_(static_cast<std::size_t>(cfg.nodes > 0 ? cfg.nodes : 1)),
       cycle_(cfg.cycle()),
       next_tid_(static_cast<std::size_t>(cfg.nodes > 0 ? cfg.nodes : 1), 0) {
-  EMUSIM_CHECK(cfg.nodes >= 1 && cfg.nodelets_per_node >= 1);
+  cfg.validate();
   if (g_engine_footprint_hint > 0) {
     for (int s = 0; s < num_shards(); ++s) {
       shard_engine(s).reserve(g_engine_footprint_hint);
     }
   }
-  EMUSIM_CHECK(cfg.gcs_per_nodelet >= 1 && cfg.threadlet_slots_per_gc >= 1);
   if (cfg.nodes > 1) {
     shard_stats_.resize(static_cast<std::size_t>(cfg.nodes));
     trace_staging_.resize(static_cast<std::size_t>(cfg.nodes));
@@ -89,9 +99,13 @@ Machine::~Machine() {
     g_machine_observer->machine_finished(*this, engine().now());
   }
   for (int s = 0; s < num_shards(); ++s) {
+    g_run_telemetry.engine_events += shard_engine(s).events_processed();
     if (shard_engine(s).footprint() > g_engine_footprint_hint) {
       g_engine_footprint_hint = shard_engine(s).footprint();
     }
+  }
+  if (host_footprint_->peak() > g_run_telemetry.peak_host_bytes) {
+    g_run_telemetry.peak_host_bytes = host_footprint_->peak();
   }
 }
 

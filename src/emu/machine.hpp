@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "emu/config.hpp"
+#include "emu/runtime/footprint.hpp"
 #include "mem/dram.hpp"
 #include "sim/engine.hpp"
 #include "sim/op.hpp"
@@ -179,6 +180,24 @@ MachineObserver* machine_observer();
 int set_engine_threads(int n);
 int engine_threads();
 
+/// Per-thread run telemetry, accumulated as machines are destroyed: the
+/// engine-speed and memory-footprint numbers the bench harness attaches to
+/// sweep points (`engine_events`, `events_per_sec`, `mem_peak_bytes` —
+/// see bench/bench_util.hpp).  Thread-local for the same reason as the
+/// observer hook: each sweep worker's points must see only their own
+/// machines.  Both fields are wall-clock-free and therefore deterministic
+/// across --jobs and --engine-threads.
+struct RunTelemetry {
+  /// Σ over destroyed machines of Σ over shards of events_processed().
+  std::uint64_t engine_events = 0;
+  /// Max over destroyed machines of the HostFootprint high-water mark.
+  std::uint64_t peak_host_bytes = 0;
+};
+
+/// Return the calling thread's accumulated telemetry and reset it to zero.
+/// Benches call this once per sweep point, after the point's machines die.
+RunTelemetry take_run_telemetry();
+
 class Machine {
  public:
   explicit Machine(const SystemConfig& cfg);
@@ -197,6 +216,16 @@ class Machine {
 
   int num_nodelets() const { return cfg_.total_nodelets(); }
   Nodelet& nodelet(int i) { return nodelets_[static_cast<std::size_t>(i)]; }
+
+  /// Host-side memory accounting shared with every allocation view built on
+  /// this machine (emu/runtime/alloc.hpp).  The shared_ptr form lets views
+  /// keep the counters alive regardless of view/machine destruction order.
+  HostFootprint& host_footprint() { return *host_footprint_; }
+  const HostFootprint& host_footprint() const { return *host_footprint_; }
+  std::shared_ptr<HostFootprint> host_footprint_ptr() const {
+    return host_footprint_;
+  }
+
   int node_index_of(int nodelet) const {
     return nodelet / cfg_.nodelets_per_node;
   }
@@ -314,6 +343,8 @@ class Machine {
 
   SystemConfig cfg_;
   sim::EngineSet set_;
+  std::shared_ptr<HostFootprint> host_footprint_ =
+      std::make_shared<HostFootprint>();
   Time cycle_;
   std::deque<Nodelet> nodelets_;
   std::deque<Node> nodes_;

@@ -13,6 +13,18 @@
 //   Chunked<T>    — the paper's custom two-stage "2D" allocation: explicit
 //                   per-nodelet chunks (e.g. the rows assigned to a nodelet).
 //
+// Host storage is chunked per participating nodelet and materialized
+// lazily, mirroring the emu_2d_array layout the paper's microbenchmarks
+// use: each chunk holds exactly the elements homed on its nodelet, appears
+// the first time an element of that nodelet is touched, and is registered
+// against the machine's HostFootprint (emu/runtime/footprint.hpp).  A view
+// used only for address/home math — the at-scale benches sweep 2^30-element
+// regions this way — costs O(participating nodelets) bookkeeping and zero
+// element storage, which is what makes billion-element regions on 256-1024
+// nodelet configs feasible.  Materialization is thread-safe (CAS-installed
+// chunks): kernels capture `&view[i]` host pointers from non-owner shards
+// of the windowed parallel engine, so chunks never move once installed.
+//
 // Views provide address/home mapping for the timed path and plain element
 // access for the functional path.  Hot kernels use the mapping directly:
 //
@@ -24,14 +36,115 @@
 // The `load` convenience coroutine bundles those steps for cold paths.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "common/check.hpp"
 #include "emu/machine.hpp"
+#include "emu/runtime/footprint.hpp"
 #include "sim/op.hpp"
 
 namespace emusim::emu {
+
+namespace detail {
+
+/// Lazily materialized per-nodelet host chunks with footprint accounting.
+/// Chunk sizes are fixed at construction; storage appears on first touch
+/// (zero-initialized, matching the old dense mirror's semantics) and is
+/// charged to the machine's HostFootprint.  chunk() is safe to race from
+/// any engine shard: the loser of the install CAS frees its copy, and an
+/// installed chunk's address never changes.
+template <class T>
+class LazyChunks {
+ public:
+  LazyChunks(std::shared_ptr<HostFootprint> fp, std::vector<std::size_t> sizes)
+      : fp_(std::move(fp)), sizes_(std::move(sizes)) {
+    if (!sizes_.empty()) {
+      slots_ = std::make_unique<std::atomic<T*>[]>(sizes_.size());
+      for (std::size_t d = 0; d < sizes_.size(); ++d) {
+        slots_[d].store(nullptr, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  ~LazyChunks() { release(); }
+
+  LazyChunks(LazyChunks&& o) noexcept
+      : fp_(std::move(o.fp_)),
+        sizes_(std::move(o.sizes_)),
+        slots_(std::move(o.slots_)) {
+    o.sizes_.clear();
+  }
+  LazyChunks& operator=(LazyChunks&& o) noexcept {
+    if (this != &o) {
+      release();
+      fp_ = std::move(o.fp_);
+      sizes_ = std::move(o.sizes_);
+      slots_ = std::move(o.slots_);
+      o.sizes_.clear();
+    }
+    return *this;
+  }
+  LazyChunks(const LazyChunks&) = delete;
+  LazyChunks& operator=(const LazyChunks&) = delete;
+
+  std::size_t num_chunks() const { return sizes_.size(); }
+  std::size_t chunk_elems(std::size_t d) const { return sizes_[d]; }
+
+  /// The chunk for nodelet-slot `d`, materializing it on first touch.
+  T* chunk(std::size_t d) const {
+    T* p = slots_[d].load(std::memory_order_acquire);
+    return p != nullptr ? p : materialize(d);
+  }
+
+  bool materialized(std::size_t d) const {
+    return slots_[d].load(std::memory_order_acquire) != nullptr;
+  }
+
+  /// Host bytes of element storage currently materialized.
+  std::uint64_t materialized_bytes() const {
+    std::uint64_t b = 0;
+    for (std::size_t d = 0; d < sizes_.size(); ++d) {
+      if (materialized(d)) b += sizes_[d] * sizeof(T);
+    }
+    return b;
+  }
+
+ private:
+  T* materialize(std::size_t d) const {
+    EMUSIM_CHECK(sizes_[d] > 0);
+    T* fresh = new T[sizes_[d]]();
+    T* expected = nullptr;
+    if (slots_[d].compare_exchange_strong(expected, fresh,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_acquire)) {
+      if (fp_) fp_->add(sizes_[d] * sizeof(T));
+      return fresh;
+    }
+    delete[] fresh;  // another shard won the install race
+    return expected;
+  }
+
+  void release() {
+    for (std::size_t d = 0; d < sizes_.size(); ++d) {
+      T* p = slots_[d].load(std::memory_order_acquire);
+      if (p == nullptr) continue;
+      delete[] p;
+      if (fp_) fp_->sub(sizes_[d] * sizeof(T));
+    }
+    sizes_.clear();
+    slots_.reset();
+  }
+
+  std::shared_ptr<HostFootprint> fp_;
+  std::vector<std::size_t> sizes_;
+  mutable std::unique_ptr<std::atomic<T*>[]> slots_;
+};
+
+}  // namespace detail
 
 template <class T>
 class Striped1D {
@@ -44,8 +157,14 @@ class Striped1D {
       : n_(n), block_(block),
         nlets_(static_cast<std::size_t>(across > 0 ? across
                                                    : m.num_nodelets())),
-        host_(n) {
-    EMUSIM_CHECK(block_ >= 1);
+        chunks_(m.host_footprint_ptr(), [&] {
+          EMUSIM_CHECK(block >= 1);
+          std::vector<std::size_t> sizes(nlets_);
+          for (std::size_t d = 0; d < nlets_; ++d) {
+            sizes[d] = elems_on(static_cast<int>(d));
+          }
+          return sizes;
+        }()) {
     EMUSIM_CHECK(nlets_ <= static_cast<std::size_t>(m.num_nodelets()));
     base_.reserve(nlets_);
     for (std::size_t d = 0; d < nlets_; ++d) {
@@ -58,6 +177,13 @@ class Striped1D {
   std::size_t size() const { return n_; }
   std::size_t block() const { return block_; }
   std::uint64_t bytes() const { return n_ * sizeof(T); }
+  /// Host bytes currently materialized for this view (chunk storage only;
+  /// an untouched view reports 0 no matter how large the region is).
+  std::uint64_t host_bytes() const { return chunks_.materialized_bytes(); }
+  /// Whether nodelet `nlet`'s chunk has been materialized.
+  bool chunk_materialized(int nlet) const {
+    return chunks_.materialized(static_cast<std::size_t>(nlet));
+  }
 
   int home(std::size_t i) const {
     return static_cast<int>((i / block_) % nlets_);
@@ -69,8 +195,8 @@ class Striped1D {
     return base_[(i / block_) % nlets_] + local_elem * sizeof(T);
   }
 
-  T& operator[](std::size_t i) { return host_[i]; }
-  const T& operator[](std::size_t i) const { return host_[i]; }
+  T& operator[](std::size_t i) { return element(i); }
+  const T& operator[](std::size_t i) const { return element(i); }
 
   /// Number of elements homed on nodelet `nlet`.
   std::size_t elems_on(int nlet) const {
@@ -98,14 +224,20 @@ class Striped1D {
     const int h = home(i);
     if (h != ctx.nodelet()) co_await ctx.migrate_to(h);
     co_await ctx.read_local(byte_addr(i), sizeof(T));
-    co_return host_[i];
+    co_return element(i);
   }
 
  private:
+  T& element(std::size_t i) const {
+    const std::size_t blk = i / block_;
+    const std::size_t local = (blk / nlets_) * block_ + i % block_;
+    return chunks_.chunk(blk % nlets_)[local];
+  }
+
   std::size_t n_;
   std::size_t block_;
   std::size_t nlets_;
-  std::vector<T> host_;
+  detail::LazyChunks<T> chunks_;
   std::vector<std::uint64_t> base_;
 };
 
@@ -113,34 +245,38 @@ template <class T>
 class LocalArray {
  public:
   LocalArray(Machine& m, std::size_t n, int nodelet)
-      : nodelet_(nodelet), host_(n),
+      : nodelet_(nodelet), n_(n),
+        chunks_(m.host_footprint_ptr(), std::vector<std::size_t>{n}),
         base_(m.nodelet(nodelet).allocate(n ? n * sizeof(T) : sizeof(T),
                                           alignof(T))) {}
 
-  std::size_t size() const { return host_.size(); }
-  std::uint64_t bytes() const { return host_.size() * sizeof(T); }
+  std::size_t size() const { return n_; }
+  std::uint64_t bytes() const { return n_ * sizeof(T); }
+  std::uint64_t host_bytes() const { return chunks_.materialized_bytes(); }
   int home(std::size_t) const { return nodelet_; }
   int home() const { return nodelet_; }
   std::uint64_t byte_addr(std::size_t i) const { return base_ + i * sizeof(T); }
-  T& operator[](std::size_t i) { return host_[i]; }
-  const T& operator[](std::size_t i) const { return host_[i]; }
+  T& operator[](std::size_t i) { return chunks_.chunk(0)[i]; }
+  const T& operator[](std::size_t i) const { return chunks_.chunk(0)[i]; }
 
   sim::Op<T> load(Context& ctx, std::size_t i) {
     if (nodelet_ != ctx.nodelet()) co_await ctx.migrate_to(nodelet_);
     co_await ctx.read_local(byte_addr(i), sizeof(T));
-    co_return host_[i];
+    co_return chunks_.chunk(0)[i];
   }
 
  private:
   int nodelet_;
-  std::vector<T> host_;
+  std::size_t n_;
+  detail::LazyChunks<T> chunks_;
   std::uint64_t base_;
 };
 
 template <class T>
 class Replicated {
  public:
-  Replicated(Machine& m, std::size_t n) : host_(n) {
+  Replicated(Machine& m, std::size_t n)
+      : n_(n), chunks_(m.host_footprint_ptr(), std::vector<std::size_t>{n}) {
     const int nlets = m.num_nodelets();
     base_.reserve(static_cast<std::size_t>(nlets));
     for (int d = 0; d < nlets; ++d) {
@@ -149,13 +285,16 @@ class Replicated {
     }
   }
 
-  std::size_t size() const { return host_.size(); }
+  std::size_t size() const { return n_; }
+  /// Host bytes of the single functional copy (the per-nodelet replicas
+  /// share one host image; simulated storage is per nodelet).
+  std::uint64_t host_bytes() const { return chunks_.materialized_bytes(); }
   /// Address of element i in the copy local to `nlet`.
   std::uint64_t byte_addr_on(int nlet, std::size_t i) const {
     return base_[static_cast<std::size_t>(nlet)] + i * sizeof(T);
   }
-  T& operator[](std::size_t i) { return host_[i]; }
-  const T& operator[](std::size_t i) const { return host_[i]; }
+  T& operator[](std::size_t i) { return chunks_.chunk(0)[i]; }
+  const T& operator[](std::size_t i) const { return chunks_.chunk(0)[i]; }
 
   /// Timed read of the local replica: never migrates.
   auto read(Context& ctx, std::size_t i) {
@@ -163,7 +302,8 @@ class Replicated {
   }
 
  private:
-  std::vector<T> host_;
+  std::size_t n_;
+  detail::LazyChunks<T> chunks_;
   std::vector<std::uint64_t> base_;
 };
 
@@ -172,13 +312,12 @@ class Replicated {
 template <class T>
 class Chunked {
  public:
-  Chunked(Machine& m, const std::vector<std::size_t>& counts) {
+  Chunked(Machine& m, const std::vector<std::size_t>& counts)
+      : chunks_(m.host_footprint_ptr(), counts) {
     EMUSIM_CHECK(counts.size() ==
                  static_cast<std::size_t>(m.num_nodelets()));
-    host_.reserve(counts.size());
     base_.reserve(counts.size());
     for (std::size_t d = 0; d < counts.size(); ++d) {
-      host_.emplace_back(counts[d]);
       base_.push_back(m.nodelet(static_cast<int>(d))
                           .allocate(counts[d] ? counts[d] * sizeof(T)
                                               : sizeof(T),
@@ -187,21 +326,22 @@ class Chunked {
   }
 
   std::size_t chunk_size(int nlet) const {
-    return host_[static_cast<std::size_t>(nlet)].size();
+    return chunks_.chunk_elems(static_cast<std::size_t>(nlet));
   }
+  std::uint64_t host_bytes() const { return chunks_.materialized_bytes(); }
   int home(int nlet) const { return nlet; }
   std::uint64_t byte_addr(int nlet, std::size_t i) const {
     return base_[static_cast<std::size_t>(nlet)] + i * sizeof(T);
   }
   T& at(int nlet, std::size_t i) {
-    return host_[static_cast<std::size_t>(nlet)][i];
+    return chunks_.chunk(static_cast<std::size_t>(nlet))[i];
   }
   const T& at(int nlet, std::size_t i) const {
-    return host_[static_cast<std::size_t>(nlet)][i];
+    return chunks_.chunk(static_cast<std::size_t>(nlet))[i];
   }
 
  private:
-  std::vector<std::vector<T>> host_;
+  detail::LazyChunks<T> chunks_;
   std::vector<std::uint64_t> base_;
 };
 

@@ -1,0 +1,156 @@
+#include "kernels/chase_scale.hpp"
+
+#include "common/check.hpp"
+#include "emu/machine.hpp"
+#include "emu/runtime/alloc.hpp"
+#include "kernels/chase_common.hpp"
+#include "kernels/chase_emu.hpp"
+#include "sim/random.hpp"
+
+namespace emusim::kernels {
+
+using emu::Context;
+using emu::Striped1D;
+using sim::Op;
+
+namespace {
+
+// Full-period LCG over a power-of-two block-index space (Hull–Dobell:
+// multiplier ≡ 1 mod 4, increment odd), so a chain visits nblocks distinct
+// blocks before repeating — a procedural stand-in for the Fig 11 list's
+// block shuffle that needs no O(nblocks) permutation table.
+constexpr std::uint64_t kLcgMul = 0xd1342543de82ef95ULL;
+constexpr std::uint64_t kLcgAdd = 0x9e3779b97f4a7c15ULL;
+
+std::uint64_t hash_index(std::uint64_t idx, std::uint64_t seed) {
+  std::uint64_t s = idx ^ (seed * 0x9e3779b97f4a7c15ULL);
+  return sim::splitmix64(s);
+}
+
+struct ScaleState {
+  ChaseScaleParams p;
+  std::uint64_t nblocks;
+  std::uint64_t mask;       ///< nblocks - 1
+  std::uint64_t blocks_per_thread;
+  Striped1D<ChaseElement> elems;  ///< address math only; never materialized
+  Striped1D<std::int64_t> sums;   ///< one checksum slot per chain
+
+  ScaleState(emu::Machine& m, const ChaseScaleParams& params)
+      : p(params),
+        nblocks(params.n / params.block),
+        mask(nblocks - 1),
+        blocks_per_thread(params.elems_per_thread / params.block),
+        elems(m, params.n, params.block),
+        sums(m, static_cast<std::size_t>(params.threads)) {}
+
+  std::uint64_t start_block(int t) const {
+    std::uint64_t s = p.seed ^ (static_cast<std::uint64_t>(t) + 1);
+    return sim::splitmix64(s) & mask;
+  }
+
+  std::uint64_t next_block(std::uint64_t b) const {
+    return p.shuffled ? (b * kLcgMul + kLcgAdd) & mask : (b + 1) & mask;
+  }
+};
+
+/// The checksum a chain accumulates over its walk, replayed on the host for
+/// verification.  Pure index arithmetic — no element storage on either side.
+std::int64_t expected_sum(const ScaleState& st, int t) {
+  std::uint64_t sum = 0;
+  std::uint64_t b = st.start_block(t);
+  for (std::uint64_t k = 0; k < st.blocks_per_thread; ++k) {
+    const std::uint64_t first = b * st.p.block;
+    for (std::size_t j = 0; j < st.p.block; ++j) {
+      sum += hash_index(first + j, st.p.seed);
+    }
+    b = st.next_block(b);
+  }
+  return static_cast<std::int64_t>(sum);
+}
+
+Op<> scale_worker(Context& ctx, ScaleState* st, int t) {
+  std::uint64_t sum = 0;
+  std::uint64_t b = st->start_block(t);
+  for (std::uint64_t k = 0; k < st->blocks_per_thread; ++k) {
+    const std::uint64_t first = b * st->p.block;
+    const int home = st->elems.home(first);
+    if (home != ctx.nodelet()) co_await ctx.migrate_to(home);
+    for (std::size_t j = 0; j < st->p.block; ++j) {
+      const std::uint64_t idx = first + j;
+      co_await ctx.issue(kChaseCyclesPerElement);
+      // One 16 B element: payload + next pointer from the local channel.
+      co_await ctx.read_local(st->elems.byte_addr(idx), 16);
+      sum += hash_index(idx, st->p.seed);
+    }
+    b = st->next_block(b);
+  }
+  // Post the chain's checksum to its striped result slot.  Distinct slots
+  // per chain, so the host store is race-free; materializing the slot's
+  // chunk is CAS-safe from any shard.
+  const auto slot = static_cast<std::size_t>(t);
+  ctx.write_remote(st->sums.home(slot), st->sums.byte_addr(slot), 8);
+  st->sums[slot] = static_cast<std::int64_t>(sum);
+}
+
+int start_home(const ScaleState* st, int t) {
+  return st->elems.home(st->start_block(t) * st->p.block);
+}
+
+/// Recursive remote-spawn tree over the chain range, each node born on the
+/// home nodelet of its first chain's start block (same ramp-avoidance
+/// structure as the Fig 11 chase).
+Op<> scale_spawn_tree(Context& ctx, ScaleState* st, int tlo, int thi) {
+  while (thi - tlo > 1) {
+    const int mid = tlo + (thi - tlo) / 2;
+    co_await ctx.spawn_at(start_home(st, mid), [st, mid, thi](Context& c) {
+      return scale_spawn_tree(c, st, mid, thi);
+    });
+    thi = mid;
+  }
+  co_await scale_worker(ctx, st, tlo);
+  co_await ctx.sync();
+}
+
+Op<> scale_root(Context& ctx, ScaleState* st) {
+  co_await ctx.spawn_at(start_home(st, 0), [st](Context& c) {
+    return scale_spawn_tree(c, st, 0, st->p.threads);
+  });
+  co_await ctx.sync();
+}
+
+}  // namespace
+
+ChaseScaleResult run_chase_scale(const emu::SystemConfig& cfg,
+                                 const ChaseScaleParams& p) {
+  EMUSIM_CHECK(p.block >= 1 && (p.block & (p.block - 1)) == 0);
+  EMUSIM_CHECK(p.n >= p.block && (p.n & (p.n - 1)) == 0);
+  EMUSIM_CHECK(p.threads >= 1);
+  EMUSIM_CHECK(p.elems_per_thread >= p.block &&
+               p.elems_per_thread % p.block == 0);
+
+  emu::Machine m(cfg);
+  ScaleState st(m, p);
+
+  const Time elapsed =
+      m.run_root([&](Context& ctx) { return scale_root(ctx, &st); });
+
+  ChaseScaleResult r;
+  r.elapsed = elapsed;
+  const double total_elems =
+      static_cast<double>(p.threads) * static_cast<double>(p.elems_per_thread);
+  r.mb_per_sec = mb_per_sec(16.0 * total_elems, elapsed);
+  r.migrations = m.stats.migrations;
+  r.migrations_per_element = static_cast<double>(m.stats.migrations) /
+                             total_elems;
+  r.host_peak_bytes = m.host_footprint().peak();
+  r.verified = true;
+  for (int t = 0; t < p.threads; ++t) {
+    if (st.sums[static_cast<std::size_t>(t)] != expected_sum(st, t)) {
+      r.verified = false;
+      break;
+    }
+  }
+  return r;
+}
+
+}  // namespace emusim::kernels

@@ -1,6 +1,8 @@
 #include "serve/latency.hpp"
 
 #include <bit>
+#include <cmath>
+#include <limits>
 
 #include "common/check.hpp"
 
@@ -19,10 +21,18 @@ std::size_t LatencyRecorder::bucket_of(Time v) {
 
 Time LatencyRecorder::bucket_upper(std::size_t i) {
   if (i < kSubBuckets) return static_cast<Time>(i);
-  const std::size_t octave = (i >> kSubBucketBits) - 1;
+  const int octave = static_cast<int>(i >> kSubBucketBits) - 1;
   const std::uint64_t sub = i & (kSubBuckets - 1);
-  const std::uint64_t low = (kSubBuckets + sub) << octave;
-  return static_cast<Time>(low + ((1ULL << octave) - 1));
+  // The top octaves overflow 64-bit edge arithmetic ((kSubBuckets + sub)
+  // << octave wraps once octave reaches 58 and the edge passes 2^63);
+  // compute in 128 bits and saturate to the Time range.
+  const unsigned __int128 upper =
+      (static_cast<unsigned __int128>(kSubBuckets + sub) << octave) +
+      ((static_cast<unsigned __int128>(1) << octave) - 1);
+  constexpr auto kTimeMax =
+      static_cast<unsigned __int128>(std::numeric_limits<Time>::max());
+  return upper > kTimeMax ? std::numeric_limits<Time>::max()
+                          : static_cast<Time>(upper);
 }
 
 void LatencyRecorder::record(Time v) {
@@ -33,13 +43,36 @@ void LatencyRecorder::record(Time v) {
   if (v > max_) max_ = v;
 }
 
+std::uint64_t LatencyRecorder::nearest_rank(double q, std::uint64_t count) {
+  EMUSIM_CHECK(q > 0.0 && q <= 1.0);
+  if (count == 0) return 0;
+  // ceil(q * count) without the double round trip (q * count as a double
+  // misranks once count approaches 2^53): decompose q = mant * 2^exp with
+  // mant in [0.5, 1), lift the significand to the 53-bit integer
+  // mant53 = mant * 2^53 (exact), and take
+  //   ceil(q * count) = (mant53 * count + 2^shift - 1) >> shift,
+  // shift = 53 - exp.  mant53 * count < 2^117, and shift < 127 whenever the
+  // product can reach 1, so 128-bit arithmetic is exact throughout.
+  int exp = 0;
+  const double mant = std::frexp(q, &exp);
+  const auto mant53 = static_cast<unsigned __int128>(std::ldexp(mant, 53));
+  const int shift = 53 - exp;  // >= 52 since q <= 1 implies exp <= 1
+  std::uint64_t rank = 1;      // q * count < 1 rounds up to the minimum
+  if (shift < 127) {
+    const unsigned __int128 prod = mant53 * count;
+    const unsigned __int128 half_open =
+        (static_cast<unsigned __int128>(1) << shift) - 1;
+    rank = static_cast<std::uint64_t>((prod + half_open) >> shift);
+  }
+  if (rank == 0) rank = 1;
+  if (rank > count) rank = count;
+  return rank;
+}
+
 Time LatencyRecorder::percentile(double q) const {
   if (count_ == 0) return 0;
-  EMUSIM_CHECK(q > 0.0 && q <= 1.0);
   // Nearest rank: the smallest k with cumulative(k) >= ceil(q * count).
-  auto rank = static_cast<std::uint64_t>(q * static_cast<double>(count_));
-  if (static_cast<double>(rank) < q * static_cast<double>(count_)) ++rank;
-  if (rank == 0) rank = 1;
+  const std::uint64_t rank = nearest_rank(q, count_);
   std::uint64_t seen = 0;
   for (std::size_t i = 0; i < kNumBuckets; ++i) {
     seen += buckets_[i];

@@ -68,7 +68,14 @@ class LatencyRecorder {
   /// Bucket index of a value — exposed for the edge-value unit tests.
   static std::size_t bucket_of(Time v);
   /// Inclusive upper edge of bucket `i` (the percentile representative).
+  /// Edges beyond the Time range (the top octave's upper tail) saturate to
+  /// the Time maximum instead of wrapping.
   static Time bucket_upper(std::size_t i);
+  /// ceil(q * count) computed exactly in integer arithmetic, clamped to
+  /// [1, count] (0 when count is 0).  The double product `q * count` the
+  /// seed used misranks once count approaches 2^53; this stays exact for
+  /// every uint64 count.  Exposed for the extreme-count regression tests.
+  static std::uint64_t nearest_rank(double q, std::uint64_t count);
 
   /// Sparse JSON: {"count", "max_ps", "sum_ps", "buckets": [[i, n], ...]}.
   report::Json to_json() const;

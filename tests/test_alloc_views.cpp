@@ -129,6 +129,154 @@ TEST(ChunkedView, SizesAndHomesMatchRequest) {
   EXPECT_EQ(v.at(7, 8), 77);
 }
 
+// --- lazily chunked host storage -------------------------------------------
+//
+// The host mirror is chunked per participating nodelet and materialized on
+// first touch.  These tests pin the semantics the dense mirror used to give
+// (zero-init, stable element identity, full round-trips) plus the new
+// contracts: untouched views cost nothing, a touch materializes exactly one
+// home's chunk, and the machine footprint tracks chunk bytes.
+
+TEST_P(StripedProps, ElementsRoundTripThroughTheChunkedLayout) {
+  const auto c = GetParam();
+  Machine m(SystemConfig::chick_hw());
+  Striped1D<std::int64_t> v(m, c.n, c.block, c.across);
+  // Dense-mirror semantics: every element reads zero before any write.
+  for (std::size_t i = 0; i < c.n; ++i) {
+    ASSERT_EQ(v[i], 0) << "index " << i;
+  }
+  // Distinct value per index, written through the global operator[].
+  for (std::size_t i = 0; i < c.n; ++i) {
+    v[i] = static_cast<std::int64_t>(i * 3 + 1);
+  }
+  for (std::size_t i = 0; i < c.n; ++i) {
+    ASSERT_EQ(v[i], static_cast<std::int64_t>(i * 3 + 1)) << "index " << i;
+  }
+  // The same elements seen through the local (nodelet, k) enumeration:
+  // operator[] of global_index(d, k) must walk every element exactly once
+  // with the values intact — i.e. the global->(chunk, local) map used by
+  // element access inverts the enumeration the address math uses.
+  const int nlets = c.across > 0 ? c.across : m.num_nodelets();
+  std::size_t seen = 0;
+  for (int d = 0; d < nlets; ++d) {
+    for (std::size_t k = 0; k < v.elems_on(d); ++k) {
+      const std::size_t i = v.global_index(d, k);
+      ASSERT_EQ(v[i], static_cast<std::int64_t>(i * 3 + 1));
+      ++seen;
+    }
+  }
+  EXPECT_EQ(seen, c.n);
+  // Everything is now materialized; the footprint must charge exactly the
+  // element bytes (n > 0 touches every nodelet that homes elements).
+  EXPECT_EQ(v.host_bytes(), c.n * sizeof(std::int64_t));
+  EXPECT_EQ(m.host_footprint().current(), c.n * sizeof(std::int64_t));
+}
+
+TEST(LazyStriped, UntouchedBillionElementViewMaterializesNothing) {
+  Machine m(SystemConfig::chick_hw());
+  // 2^30 elements = 8 GiB dense — the old mirror would allocate it here.
+  const std::size_t n = std::size_t{1} << 30;
+  Striped1D<std::int64_t> v(m, n, 64);
+  EXPECT_EQ(v.size(), n);
+  EXPECT_EQ(v.host_bytes(), 0u);
+  EXPECT_EQ(m.host_footprint().current(), 0u);
+  EXPECT_EQ(m.host_footprint().peak(), 0u);
+  // Address/home math must work across the whole region without touching
+  // host storage.
+  const std::size_t far = n - 3;
+  EXPECT_GE(v.home(far), 0);
+  EXPECT_LT(v.home(far), m.num_nodelets());
+  EXPECT_EQ(v.byte_addr(far) % 8, 0u);
+  for (int d = 0; d < m.num_nodelets(); ++d) {
+    EXPECT_FALSE(v.chunk_materialized(d));
+  }
+}
+
+TEST(LazyStriped, TouchMaterializesOnlyTheHomeChunk) {
+  Machine m(SystemConfig::chick_hw());
+  Striped1D<std::int64_t> v(m, 1024, 4);
+  const std::size_t i = 10;  // block 2 -> nodelet 2 under block=4 striping
+  v[i] = 42;
+  const int h = v.home(i);
+  for (int d = 0; d < m.num_nodelets(); ++d) {
+    EXPECT_EQ(v.chunk_materialized(d), d == h) << "nodelet " << d;
+  }
+  const std::uint64_t chunk_bytes = v.elems_on(h) * sizeof(std::int64_t);
+  EXPECT_EQ(v.host_bytes(), chunk_bytes);
+  EXPECT_EQ(m.host_footprint().current(), chunk_bytes);
+  EXPECT_EQ(m.host_footprint().peak(), chunk_bytes);
+  EXPECT_EQ(v[i], 42);
+  // Other elements of the same chunk were zero-initialized by the touch.
+  EXPECT_EQ(v[i + 1], 0);
+}
+
+TEST(LazyStriped, FootprintReleasesOnDestructionButPeakPersists) {
+  Machine m(SystemConfig::chick_hw());
+  {
+    Striped1D<std::int64_t> v(m, 256);
+    for (std::size_t i = 0; i < 256; ++i) v[i] = 1;
+    EXPECT_EQ(m.host_footprint().current(), 256 * sizeof(std::int64_t));
+  }
+  EXPECT_EQ(m.host_footprint().current(), 0u);
+  EXPECT_EQ(m.host_footprint().peak(), 256 * sizeof(std::int64_t));
+}
+
+TEST(LazyStriped, ZeroSizeViewIsWellFormed) {
+  Machine m(SystemConfig::chick_hw());
+  Striped1D<std::int64_t> v(m, 0);
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_EQ(v.host_bytes(), 0u);
+  for (int d = 0; d < m.num_nodelets(); ++d) {
+    EXPECT_EQ(v.elems_on(d), 0u);
+  }
+}
+
+TEST(LazyStriped, SingleNodeletDegenerateRoundTrips) {
+  Machine m(SystemConfig::chick_hw());
+  Striped1D<std::int64_t> v(m, 100, 8, /*across=*/1);
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(v.home(i), 0);
+    v[i] = static_cast<std::int64_t>(1000 - i);
+  }
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(v[i], static_cast<std::int64_t>(1000 - i));
+  }
+  EXPECT_EQ(v.host_bytes(), 100 * sizeof(std::int64_t));
+}
+
+TEST(LazyStriped, MoveTransfersChunksAndFootprint) {
+  Machine m(SystemConfig::chick_hw());
+  Striped1D<std::int64_t> a(m, 64);
+  a[7] = 7;
+  const std::uint64_t charged = m.host_footprint().current();
+  EXPECT_GT(charged, 0u);
+  Striped1D<std::int64_t> b(std::move(a));
+  EXPECT_EQ(b[7], 7);
+  EXPECT_EQ(b.host_bytes(), charged);
+  // The charge moved with the chunks — no double count, no early release.
+  EXPECT_EQ(m.host_footprint().current(), charged);
+}
+
+TEST(LazyViews, LocalReplicatedAndChunkedAreLazyToo) {
+  Machine m(SystemConfig::chick_hw());
+  LocalArray<double> local(m, 50, 2);
+  Replicated<std::int64_t> repl(m, 20);
+  Chunked<int> chunked(m, {4, 0, 0, 0, 0, 0, 0, 4});
+  EXPECT_EQ(local.host_bytes(), 0u);
+  EXPECT_EQ(repl.host_bytes(), 0u);
+  EXPECT_EQ(chunked.host_bytes(), 0u);
+  EXPECT_EQ(m.host_footprint().current(), 0u);
+  local[0] = 1.5;
+  repl[3] = 9;
+  chunked.at(7, 1) = 4;
+  EXPECT_EQ(local.host_bytes(), 50 * sizeof(double));
+  // Replicated keeps ONE functional host image regardless of nodelet count.
+  EXPECT_EQ(repl.host_bytes(), 20 * sizeof(std::int64_t));
+  EXPECT_EQ(chunked.host_bytes(), 4 * sizeof(int));
+  EXPECT_EQ(m.host_footprint().current(),
+            local.host_bytes() + repl.host_bytes() + chunked.host_bytes());
+}
+
 TEST(Views, ArenasAdvancePerAllocation) {
   Machine m(SystemConfig::chick_hw());
   Striped1D<std::int64_t> a(m, 64);

@@ -72,6 +72,75 @@ TEST(EmuConfigs2, FasterDesignPointsAreActuallyFaster) {
   EXPECT_GT(full.mb_per_sec, 2.0 * hw.mb_per_sec);
 }
 
+// --- config validation and the scaling family ------------------------------
+
+TEST(ConfigValidation, NamedConfigsAllValidate) {
+  emu::SystemConfig::chick_hw().validate();
+  emu::SystemConfig::chick_as_simulated().validate();
+  emu::SystemConfig::chick_fullspeed().validate();
+  emu::SystemConfig::fullspeed_multinode(1).validate();
+  emu::SystemConfig::fullspeed_multinode(128).validate();
+  emu::SystemConfig::chick_fullspeed_nx(8).validate();
+  emu::SystemConfig::chick_fullspeed_nx(1024).validate();
+}
+
+TEST(ConfigValidationDeathTest, RejectsNonPositiveNodeCounts) {
+  // fullspeed_multinode(0) used to silently build a machine with zero
+  // nodelets (and the first Striped1D then divided by zero).
+  EXPECT_DEATH(emu::SystemConfig::fullspeed_multinode(0), "nodes >= 1");
+  EXPECT_DEATH(emu::SystemConfig::fullspeed_multinode(-4), "nodes >= 1");
+}
+
+TEST(ConfigValidationDeathTest, RejectsOverflowingTopology) {
+  emu::SystemConfig c = emu::SystemConfig::chick_fullspeed();
+  // nodes * nodelets_per_node would overflow int without the division-form
+  // guard; validate() must refuse long before total_nodelets() wraps.
+  c.nodes = (1 << 20);  // 2^20 nodes * 8 nodelets/node > kMaxTotalNodelets
+  EXPECT_DEATH(c.validate(), "total_nodelets");
+  c = emu::SystemConfig::chick_fullspeed();
+  c.gcs_per_nodelet = 1 << 16;
+  c.threadlet_slots_per_gc = 1 << 16;
+  EXPECT_DEATH(c.validate(), "slots_per_nodelet");
+}
+
+TEST(ConfigValidationDeathTest, RejectsNonPhysicalParameters) {
+  emu::SystemConfig c = emu::SystemConfig::chick_hw();
+  c.gc_clock_hz = 0.0;
+  EXPECT_DEATH(c.validate(), "EMUSIM_CHECK");
+  c = emu::SystemConfig::chick_hw();
+  c.migrations_per_sec = -1.0;
+  EXPECT_DEATH(c.validate(), "EMUSIM_CHECK");
+  // Multi-node configs need a positive inter-node latency: the windowed
+  // parallel engine's lookahead is exactly that latency, so zero would
+  // deadlock window scheduling.
+  c = emu::SystemConfig::fullspeed_multinode(2);
+  c.internode_latency = 0;
+  EXPECT_DEATH(c.validate(), "internode latency");
+}
+
+TEST(ConfigValidationDeathTest, ScalingFamilyWantsMultiplesOfEight) {
+  EXPECT_DEATH(emu::SystemConfig::chick_fullspeed_nx(0), "multiple of 8");
+  EXPECT_DEATH(emu::SystemConfig::chick_fullspeed_nx(-8), "multiple of 8");
+  EXPECT_DEATH(emu::SystemConfig::chick_fullspeed_nx(12), "multiple of 8");
+}
+
+TEST(ScalingFamily, AddressesTheFullspeedTopologyByNodeletCount) {
+  for (int nlets : {8, 64, 256, 1024}) {
+    const auto cfg = emu::SystemConfig::chick_fullspeed_nx(nlets);
+    EXPECT_EQ(cfg.total_nodelets(), nlets);
+    EXPECT_EQ(cfg.nodes, nlets / 8);
+    EXPECT_EQ(cfg.name, "chick_fullspeed_" + std::to_string(nlets) + "x");
+    // Per-nodelet resources match the single-node fullspeed design point:
+    // scaling changes the node count, never the node card.
+    const auto one = emu::SystemConfig::chick_fullspeed();
+    EXPECT_EQ(cfg.nodelets_per_node, one.nodelets_per_node);
+    EXPECT_EQ(cfg.gcs_per_nodelet, one.gcs_per_nodelet);
+    EXPECT_EQ(cfg.slots_per_nodelet(), one.slots_per_nodelet());
+    EXPECT_EQ(cfg.gc_clock_hz, one.gc_clock_hz);
+    if (cfg.nodes > 1) EXPECT_GT(cfg.internode_latency, 0);
+  }
+}
+
 using XeonConfigFn = xeon::SystemConfig (*)();
 
 class XeonConfigs : public ::testing::TestWithParam<XeonConfigFn> {};

@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -199,6 +200,79 @@ TEST(Latency, BucketEdgesCoverPowerOfTwoBoundaries) {
       EXPECT_GT(LatencyRecorder::bucket_upper(i + 1), upper);
     }
   }
+}
+
+TEST(Latency, NearestRankMatchesIntegerOracleAtSmallCounts) {
+  // At these magnitudes the double product is exact, so a long-double
+  // oracle of ceil(q * count) is trustworthy; the integer path must agree.
+  for (std::uint64_t count : {1ULL, 2ULL, 3ULL, 10ULL, 100ULL, 9973ULL}) {
+    for (double q : {0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999, 1.0}) {
+      const auto oracle = static_cast<std::uint64_t>(
+          std::ceil(static_cast<long double>(q) *
+                    static_cast<long double>(count)));
+      const std::uint64_t want = oracle == 0 ? 1 : oracle;
+      EXPECT_EQ(LatencyRecorder::nearest_rank(q, count), want)
+          << "q=" << q << " count=" << count;
+    }
+  }
+  EXPECT_EQ(LatencyRecorder::nearest_rank(0.95, 100), 95u);
+  EXPECT_EQ(LatencyRecorder::nearest_rank(0.5, 7), 4u);
+  EXPECT_EQ(LatencyRecorder::nearest_rank(1e-9, 100), 1u);
+}
+
+TEST(Latency, NearestRankStaysExactAtExtremeCounts) {
+  // The seed computed ceil(q * count) in doubles; at counts near 2^53 the
+  // product loses integer resolution and misranks.  The decomposed integer
+  // path must stay exact for every uint64 count.
+  const std::uint64_t big = (1ULL << 53) + 1;
+  // double(big) rounds to 2^53, so the old path would return 2^53 here.
+  EXPECT_EQ(LatencyRecorder::nearest_rank(1.0, big), big);
+  EXPECT_EQ(LatencyRecorder::nearest_rank(1.0, ~0ULL), ~0ULL);
+  // q = 0.5 is an exact double: ceil(count / 2) must be exact too.
+  EXPECT_EQ(LatencyRecorder::nearest_rank(0.5, (1ULL << 60) + 1),
+            (1ULL << 59) + 1);
+  EXPECT_EQ(LatencyRecorder::nearest_rank(0.5, (1ULL << 60)), 1ULL << 59);
+  // Exact dyadic q at the very top of the range.
+  EXPECT_EQ(LatencyRecorder::nearest_rank(0.25, (1ULL << 62) + 3),
+            (1ULL << 60) + 1);
+  // A sub-normal-small q can never rank past the first sample.
+  EXPECT_EQ(LatencyRecorder::nearest_rank(1e-300, ~0ULL), 1u);
+  // Ranks clamp into [1, count] even when rounding lands on the edges.
+  for (std::uint64_t count : {1ULL, (1ULL << 53) - 1, (1ULL << 53) + 3}) {
+    for (double q : {1e-12, 0.5, 1.0}) {
+      const std::uint64_t r = LatencyRecorder::nearest_rank(q, count);
+      EXPECT_GE(r, 1u);
+      EXPECT_LE(r, count);
+    }
+  }
+  EXPECT_EQ(LatencyRecorder::nearest_rank(0.5, 0), 0u);
+}
+
+TEST(Latency, BucketUpperSaturatesAtTheTimeRangeInsteadOfWrapping) {
+  constexpr Time kMax = std::numeric_limits<Time>::max();
+  // The largest representable value round-trips: its bucket's edge clamps
+  // exactly to the Time maximum (the unsaturated formula wraps negative).
+  const std::size_t top = LatencyRecorder::bucket_of(kMax);
+  ASSERT_LT(top, LatencyRecorder::kNumBuckets);
+  EXPECT_EQ(LatencyRecorder::bucket_upper(top), kMax);
+  // Every edge — including the top octave's tail past any reachable value —
+  // is non-negative, monotone non-decreasing, and capped at the maximum.
+  Time prev = 0;
+  for (std::size_t i = 0; i < LatencyRecorder::kNumBuckets; ++i) {
+    const Time upper = LatencyRecorder::bucket_upper(i);
+    EXPECT_GE(upper, 0) << "bucket " << i;
+    EXPECT_GE(upper, prev) << "bucket " << i;
+    EXPECT_LE(upper, kMax) << "bucket " << i;
+    prev = upper;
+  }
+  EXPECT_EQ(LatencyRecorder::bucket_upper(LatencyRecorder::kNumBuckets - 1),
+            kMax);
+  // Recording the extreme value keeps percentiles finite and exact-capped.
+  LatencyRecorder rec;
+  rec.record(kMax);
+  rec.record(1);
+  EXPECT_EQ(rec.percentile(1.0), kMax);
+  EXPECT_EQ(rec.p50(), 1);
 }
 
 TEST(Latency, MergeEqualsRecordingEverythingInOneRecorder) {

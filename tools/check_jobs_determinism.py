@@ -33,6 +33,14 @@ def strip_wall_fields(result):
             for point in series.get("points", []):
                 point.pop("y", None)
                 point.pop("extra", None)
+    # events_per_sec is engine_events over host wall time: the only
+    # wall-derived point extra on simulated-metric benches.  engine_events
+    # and mem_peak_bytes stay — both are deterministic and must match.
+    for series in result.get("series", []):
+        for point in series.get("points", []):
+            extra = point.get("extra")
+            if isinstance(extra, dict):
+                extra.pop("events_per_sec", None)
     return result
 
 
