@@ -8,12 +8,9 @@
 
 namespace emusim::graph {
 
-namespace {
-
-/// Build CSR from an edge list, symmetrizing, deduplicating, and dropping
-/// self loops.
-Graph from_edges(std::size_t num_vertices,
-                 std::vector<std::pair<std::uint32_t, std::uint32_t>> edges) {
+Graph from_edge_list(
+    std::size_t num_vertices,
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> edges) {
   std::vector<std::pair<std::uint32_t, std::uint32_t>> sym;
   sym.reserve(edges.size() * 2);
   for (auto [u, v] : edges) {
@@ -40,6 +37,13 @@ Graph from_edges(std::size_t num_vertices,
     g.adj[static_cast<std::size_t>(fill[u]++)] = v;
   }
   return g;
+}
+
+namespace {
+
+Graph from_edges(std::size_t num_vertices,
+                 std::vector<std::pair<std::uint32_t, std::uint32_t>> edges) {
+  return from_edge_list(num_vertices, std::move(edges));
 }
 
 }  // namespace
@@ -148,6 +152,37 @@ bool validate(const Graph& g) {
     }
   }
   return true;
+}
+
+std::uint64_t triangle_count_reference(const Graph& g) {
+  // Forward counting: for each edge (u, v) with u < v, count common
+  // neighbours w > v via a sorted merge of the two forward lists.  Each
+  // triangle u < v < w is found exactly once, at its lowest edge.
+  std::uint64_t total = 0;
+  for (std::size_t u = 0; u < g.num_vertices; ++u) {
+    const auto ub = static_cast<std::size_t>(g.row_ptr[u]);
+    const auto ue = static_cast<std::size_t>(g.row_ptr[u + 1]);
+    for (std::size_t k = ub; k < ue; ++k) {
+      const std::uint32_t v = g.adj[k];
+      if (v <= u) continue;
+      std::size_t i = k + 1;  // u's neighbours > v (sorted)
+      auto j = static_cast<std::size_t>(g.row_ptr[v]);
+      const auto je = static_cast<std::size_t>(g.row_ptr[v + 1]);
+      while (j < je && g.adj[j] <= v) ++j;  // v's neighbours > v
+      while (i < ue && j < je) {
+        if (g.adj[i] < g.adj[j]) {
+          ++i;
+        } else if (g.adj[j] < g.adj[i]) {
+          ++j;
+        } else {
+          ++total;
+          ++i;
+          ++j;
+        }
+      }
+    }
+  }
+  return total;
 }
 
 }  // namespace emusim::graph

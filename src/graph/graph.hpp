@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 namespace emusim::graph {
@@ -20,6 +21,14 @@ struct Graph {
     return static_cast<std::size_t>(row_ptr[v + 1] - row_ptr[v]);
   }
 };
+
+/// Build a CSR graph from an explicit edge list, symmetrizing,
+/// deduplicating, and dropping self loops — the batch-built oracle the
+/// streaming-graph tests compare a StreamGraph snapshot against (the
+/// generators below all feed through this).
+Graph from_edge_list(std::size_t num_vertices,
+                     std::vector<std::pair<std::uint32_t, std::uint32_t>>
+                         edges);
 
 /// 2-D grid graph of side `n` (4-neighbour connectivity): diameter 2(n-1),
 /// a deep, low-degree BFS workload.
@@ -46,5 +55,11 @@ std::vector<std::uint32_t> bfs_reference(const Graph& g, std::size_t source);
 /// in-range ids, symmetric edges, no self loops.  Returns false with no
 /// diagnostics (tests assert on the pieces).
 bool validate(const Graph& g);
+
+/// Serial triangle count (each triangle counted once): forward adjacency
+/// merge-intersection, the host reference the timed kernels verify against.
+/// Tests additionally cross-check this against a brute-force O(V^3) count
+/// on small graphs, so the two implementations vouch for each other.
+std::uint64_t triangle_count_reference(const Graph& g);
 
 }  // namespace emusim::graph

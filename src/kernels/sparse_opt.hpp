@@ -1,0 +1,145 @@
+// Sparse-optimization ablation: does the standard cache-machine toolkit —
+// cache blocking and degree-based reordering — carry over to the migratory
+// machine?  Rolinger's follow-on studies on the Chick found it largely does
+// not: optimizations that reorganize the access stream for cache reuse are
+// flat to mildly harmful under migration, because there is no cache to
+// block for and every nonzero pays its migration regardless of order.
+//
+// All three layouts compile to one representation, an SpmvPlan: an ordered
+// list of segments, each owning a contiguous slice of plan-ordered
+// (col, val) nonzeros that accumulate into one output row.
+//
+//   csr       — one segment per non-empty row, original order.
+//   blocked   — column-blocked: for each block of `block_cols` columns, the
+//               rows' nonzeros falling in that block.  On a cache machine
+//               this keeps the x gather inside a block resident in LLC; on
+//               the Emu it only adds per-segment overhead.
+//   reordered — symmetric degree-descending permutation (P A P^T, P x):
+//               hub rows AND hub columns cluster at low indices, so the
+//               hot x entries share few cache lines.  The y row a segment
+//               targets stays in original numbering.
+//
+// The matrix is integer-valued (vals and x are small integers), so every
+// partial sum is exact in doubles and y is bit-identical across layouts
+// and backends no matter the accumulation order — the property the tests
+// assert with memcmp-level equality.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hpp"
+#include "emu/config.hpp"
+#include "graph/stream_graph.hpp"
+#include "tensor/coo.hpp"
+#include "xeon/config.hpp"
+
+namespace emusim::kernels {
+
+enum class SparseLayout { csr, blocked, reordered };
+const char* to_string(SparseLayout l);
+
+/// CSR matrix with integer-valued entries (stored as doubles so kernels
+/// and references share arithmetic).
+struct SparseMatrix {
+  std::size_t rows = 0, cols = 0;
+  std::vector<std::int64_t> row_ptr;
+  std::vector<std::uint32_t> col_idx;
+  std::vector<double> vals;
+
+  std::size_t nnz() const { return col_idx.size(); }
+};
+
+/// Symmetric sparse matrix over a generated graph pattern (uniform or
+/// RMAT-skewed), values small integers in [1, 8], deterministic in `seed`.
+SparseMatrix make_sparse_matrix(std::size_t n, double avg_degree,
+                                graph::EdgeDist dist, std::uint64_t seed);
+
+/// Integer-valued x in [1, 8], deterministic in `seed`.
+std::vector<double> make_int_x(std::size_t n, std::uint64_t seed);
+
+/// Dense reference y = A x.
+std::vector<double> sparse_reference(const SparseMatrix& a,
+                                     const std::vector<double>& x);
+
+// --- permutation utilities (property-tested in tests/test_sparse_opt) ----
+
+/// Row permutation ordering rows by nonzero count descending (ties by row
+/// id ascending): perm[new_pos] = old_row.
+std::vector<std::uint32_t> degree_order(const SparseMatrix& a);
+
+std::vector<std::uint32_t> invert_permutation(
+    const std::vector<std::uint32_t>& perm);
+
+/// Symmetric permutation A' = P A P^T with perm[new] = old; each row's
+/// entries re-sorted by new column id.
+SparseMatrix permute_symmetric(const SparseMatrix& a,
+                               const std::vector<std::uint32_t>& perm);
+
+// --- the plan -------------------------------------------------------------
+
+struct SpmvSegment {
+  std::uint32_t out_row = 0;       ///< y row, PLAN numbering
+  std::int64_t begin = 0, end = 0; ///< nonzero slice in plan order
+};
+
+struct SpmvPlan {
+  SparseLayout layout = SparseLayout::csr;
+  std::size_t rows = 0, cols = 0;
+  std::vector<SpmvSegment> segments;  ///< execution order
+  std::vector<std::uint32_t> col;     ///< plan-ordered column ids
+  std::vector<double> val;            ///< plan-ordered values
+  std::vector<double> x;              ///< plan-space x (permuted if needed)
+  /// Plan row -> original row.  Kernels accumulate y entirely in plan
+  /// space (sequential stores for the reordered layout, as a reordering
+  /// framework that keeps downstream computation permuted would); the
+  /// result un-permutes through this map on the host.
+  std::vector<std::uint32_t> row_map;
+
+  std::size_t nnz() const { return col.size(); }
+};
+
+/// Compile (a, x) into the given layout.  `block_cols` only matters for
+/// blocked.  Executing any plan yields the same y (exactly, by the
+/// integer-value construction).
+SpmvPlan build_plan(const SparseMatrix& a, const std::vector<double>& x,
+                    SparseLayout layout, std::size_t block_cols);
+
+// --- timed execution ------------------------------------------------------
+
+struct SparseOptParams {
+  const SpmvPlan* plan = nullptr;
+  int threads = 16;        ///< xeon pool width
+  std::size_t grain = 16;  ///< emu: segments per spawned task
+};
+
+struct SparseOptResult {
+  double mflops = 0.0;
+  double mb_per_sec = 0.0;  ///< nominal 12 B per nonzero (col+val+x touch)
+  Time elapsed = 0;
+  std::uint64_t migrations = 0;  ///< emu only
+  double llc_hit_rate = 0.0;     ///< xeon only
+  bool verified = false;         ///< y equals sparse_reference bit-for-bit
+  std::vector<double> y;         ///< original row order
+};
+
+/// Issue/compute costs (same scale as the SpMV kernels: migration-bound on
+/// emu, memory-bound on xeon).
+inline constexpr std::uint64_t kSparseEmuCyclesPerNnz = 45;
+inline constexpr std::uint64_t kSparseEmuCyclesPerSeg = 10;
+inline constexpr std::uint64_t kSparseXeonCyclesPerNnz = 3;
+inline constexpr std::uint64_t kSparseXeonCyclesPerSeg = 6;
+
+SparseOptResult run_sparse_emu(const emu::SystemConfig& cfg,
+                               const SparseOptParams& p);
+SparseOptResult run_sparse_xeon(const xeon::SystemConfig& cfg,
+                                const SparseOptParams& p);
+
+// --- MTTKRP reordering (report-only arm of the ablation) -----------------
+
+/// Renumber mode-0 slices by nonzero count descending and re-sort the
+/// tensor — the degree-reordering analogue for MTTKRP.  The result runs
+/// through the existing run_mttkrp_{emu,xeon} unchanged.
+tensor::CooTensor reorder_mode0_by_slice(const tensor::CooTensor& t);
+
+}  // namespace emusim::kernels

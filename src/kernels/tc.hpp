@@ -1,0 +1,55 @@
+// Triangle counting on both machine models — the second irregular kernel of
+// the streaming-graph suite.  Both backends run the same forward
+// merge-intersection algorithm (count common neighbours w > v of each edge
+// u < v, so each triangle is found exactly once at its lowest edge):
+//
+//   emu::  — adjacency chunked at each vertex's home nodelet.  A task per
+//            vertex streams its forward list locally, then migrates to each
+//            forward neighbour's home and merges the two forward lists
+//            there.  Counts accumulate through a SumReducer (local partials,
+//            one migratory combine).
+//   xeon:: — CSR in flat simulated memory; per-vertex tasks stream the two
+//            forward lists through the cache hierarchy (16 ids per line),
+//            paying a random rowptr probe per neighbour.
+//
+// Counts must equal graph::triangle_count_reference exactly — and the tests
+// additionally pit both against a brute-force O(V^3) oracle.
+#pragma once
+
+#include "common/units.hpp"
+#include "emu/config.hpp"
+#include "graph/graph.hpp"
+#include "xeon/config.hpp"
+
+namespace emusim::kernels {
+
+struct TcEmuParams {
+  const graph::Graph* g = nullptr;
+  std::size_t grain = 8;  ///< vertices per spawned task on each nodelet
+};
+
+struct TcXeonParams {
+  const graph::Graph* g = nullptr;
+  int threads = 16;
+  std::size_t chunk = 64;  ///< vertices per pool task
+};
+
+struct TcResult {
+  std::uint64_t triangles = 0;
+  Time elapsed = 0;
+  double mteps = 0.0;  ///< millions of directed edges processed per second
+  std::uint64_t migrations = 0;  ///< emu only
+  double llc_hit_rate = 0.0;     ///< xeon only
+  bool verified = false;  ///< count equals triangle_count_reference
+};
+
+/// Issue/compute cost per merge comparison and per visited vertex.
+inline constexpr std::uint64_t kTcEmuCyclesPerCompare = 2;
+inline constexpr std::uint64_t kTcEmuCyclesPerVertex = 30;
+inline constexpr std::uint64_t kTcXeonCyclesPerCompare = 1;
+inline constexpr std::uint64_t kTcXeonCyclesPerVertex = 20;
+
+TcResult run_tc_emu(const emu::SystemConfig& cfg, const TcEmuParams& p);
+TcResult run_tc_xeon(const xeon::SystemConfig& cfg, const TcXeonParams& p);
+
+}  // namespace emusim::kernels

@@ -1,0 +1,212 @@
+// Property tests for the sparse-optimization ablation: permutation
+// round-trips are exact, every SpmvPlan layout preserves the nonzero set,
+// and — by the integer-valued construction — y is bit-identical across all
+// layouts and both backends.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "kernels/sparse_opt.hpp"
+#include "tensor/coo.hpp"
+
+namespace emusim::kernels {
+namespace {
+
+SparseMatrix small_matrix(graph::EdgeDist dist, std::uint64_t seed) {
+  return make_sparse_matrix(256, 6.0, dist, seed);
+}
+
+bool matrices_equal(const SparseMatrix& a, const SparseMatrix& b) {
+  return a.rows == b.rows && a.cols == b.cols && a.row_ptr == b.row_ptr &&
+         a.col_idx == b.col_idx && a.vals == b.vals;
+}
+
+// Multiset of (row, col, val) triples — layout-independent identity of the
+// matrix a plan encodes.
+std::vector<std::tuple<std::uint32_t, std::uint32_t, double>> plan_triples(
+    const SpmvPlan& plan) {
+  std::vector<std::tuple<std::uint32_t, std::uint32_t, double>> t;
+  // Columns are plan-space too for the reordered layout; map both axes back
+  // to original numbering through row_map (symmetric permutation).
+  for (const SpmvSegment& s : plan.segments) {
+    const std::uint32_t row = plan.row_map[s.out_row];
+    for (std::int64_t k = s.begin; k < s.end; ++k) {
+      t.emplace_back(row, plan.row_map[plan.col[k]], plan.val[k]);
+    }
+  }
+  std::sort(t.begin(), t.end());
+  return t;
+}
+
+std::vector<std::tuple<std::uint32_t, std::uint32_t, double>>
+matrix_triples(const SparseMatrix& a) {
+  std::vector<std::tuple<std::uint32_t, std::uint32_t, double>> t;
+  for (std::size_t r = 0; r < a.rows; ++r) {
+    for (std::int64_t k = a.row_ptr[r]; k < a.row_ptr[r + 1]; ++k) {
+      t.emplace_back(static_cast<std::uint32_t>(r), a.col_idx[k],
+                     a.vals[k]);
+    }
+  }
+  std::sort(t.begin(), t.end());
+  return t;
+}
+
+TEST(Permutation, InverseComposesToIdentity) {
+  const auto a = small_matrix(graph::EdgeDist::rmat, 5);
+  const auto perm = degree_order(a);
+  const auto inv = invert_permutation(perm);
+  ASSERT_EQ(perm.size(), a.rows);
+  ASSERT_EQ(inv.size(), a.rows);
+  for (std::uint32_t i = 0; i < a.rows; ++i) {
+    EXPECT_EQ(perm[inv[perm[i]]], perm[i]);
+    EXPECT_EQ(inv[perm[i]], i);
+    EXPECT_EQ(perm[inv[i]], i);
+  }
+}
+
+TEST(Permutation, DegreeOrderIsAPermutationSortedByDegree) {
+  const auto a = small_matrix(graph::EdgeDist::rmat, 9);
+  const auto perm = degree_order(a);
+  std::vector<std::uint32_t> sorted = perm;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<std::uint32_t> iota(a.rows);
+  std::iota(iota.begin(), iota.end(), 0u);
+  EXPECT_EQ(sorted, iota);  // a bijection on [0, rows)
+  auto deg = [&a](std::uint32_t r) {
+    return a.row_ptr[r + 1] - a.row_ptr[r];
+  };
+  for (std::size_t i = 0; i + 1 < perm.size(); ++i) {
+    EXPECT_GE(deg(perm[i]), deg(perm[i + 1])) << "position " << i;
+  }
+}
+
+TEST(Permutation, ApplyThenInverseRoundTripsCsrExactly) {
+  for (const graph::EdgeDist dist :
+       {graph::EdgeDist::uniform, graph::EdgeDist::rmat}) {
+    const auto a = small_matrix(dist, 13);
+    const auto perm = degree_order(a);
+    const auto inv = invert_permutation(perm);
+    const auto round = permute_symmetric(permute_symmetric(a, perm), inv);
+    EXPECT_TRUE(matrices_equal(a, round)) << to_string(dist);
+  }
+}
+
+TEST(Permutation, SymmetricPermutationPreservesStructuralSymmetry) {
+  const auto a = small_matrix(graph::EdgeDist::rmat, 21);
+  const auto ap = permute_symmetric(a, degree_order(a));
+  EXPECT_EQ(ap.nnz(), a.nnz());
+  // The pattern stays symmetric (values are per directed entry, so only
+  // structure mirrors): (r, c) present iff (c, r) present.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> pat;
+  for (const auto& [r, c, v] : matrix_triples(ap)) pat.emplace_back(r, c);
+  for (const auto& [r, c] : pat) {
+    const auto want = std::make_pair(c, r);
+    EXPECT_TRUE(std::binary_search(pat.begin(), pat.end(), want))
+        << "lost mirror of (" << r << ", " << c << ")";
+  }
+}
+
+TEST(SpmvPlan, AllLayoutsEncodeTheSameMatrix) {
+  const auto a = small_matrix(graph::EdgeDist::rmat, 3);
+  const auto x = make_int_x(a.cols, 4);
+  const auto want = matrix_triples(a);
+  for (const SparseLayout layout :
+       {SparseLayout::csr, SparseLayout::blocked, SparseLayout::reordered}) {
+    const auto plan = build_plan(a, x, layout, 64);
+    EXPECT_EQ(plan.nnz(), a.nnz()) << to_string(layout);
+    EXPECT_EQ(plan.val.size(), plan.col.size()) << to_string(layout);
+    EXPECT_EQ(plan_triples(plan), want) << to_string(layout);
+    // Segments tile plan order without gaps or overlaps.
+    std::int64_t covered = 0;
+    for (const auto& s : plan.segments) {
+      EXPECT_LT(s.begin, s.end);
+      covered += s.end - s.begin;
+    }
+    EXPECT_EQ(covered, static_cast<std::int64_t>(plan.nnz()));
+  }
+}
+
+TEST(SpmvPlan, XeonBitIdenticalAcrossLayouts) {
+  const auto cfg = xeon::SystemConfig::sandy_bridge();
+  for (const graph::EdgeDist dist :
+       {graph::EdgeDist::uniform, graph::EdgeDist::rmat}) {
+    const auto a = small_matrix(dist, 17);
+    const auto x = make_int_x(a.cols, 18);
+    const auto want = sparse_reference(a, x);
+    for (const SparseLayout layout : {SparseLayout::csr,
+                                      SparseLayout::blocked,
+                                      SparseLayout::reordered}) {
+      const auto plan = build_plan(a, x, layout, 64);
+      SparseOptParams p;
+      p.plan = &plan;
+      p.threads = 4;
+      const SparseOptResult r = run_sparse_xeon(cfg, p);
+      EXPECT_TRUE(r.verified)
+          << to_string(dist) << "/" << to_string(layout);
+      // Bit-identical, not approximately equal: integer-valued inputs make
+      // every partial sum exact regardless of accumulation order.
+      EXPECT_EQ(r.y, want) << to_string(dist) << "/" << to_string(layout);
+    }
+  }
+}
+
+TEST(SpmvPlan, EmuBitIdenticalAcrossLayouts) {
+  const auto cfg = emu::SystemConfig::chick_hw();
+  const auto a = small_matrix(graph::EdgeDist::rmat, 29);
+  const auto x = make_int_x(a.cols, 30);
+  const auto want = sparse_reference(a, x);
+  for (const SparseLayout layout : {SparseLayout::csr, SparseLayout::blocked,
+                                    SparseLayout::reordered}) {
+    const auto plan = build_plan(a, x, layout, 64);
+    SparseOptParams p;
+    p.plan = &plan;
+    const SparseOptResult r = run_sparse_emu(cfg, p);
+    EXPECT_TRUE(r.verified) << to_string(layout);
+    EXPECT_EQ(r.y, want) << to_string(layout);
+    EXPECT_GT(r.migrations, 0u) << to_string(layout);
+  }
+}
+
+TEST(TensorReorder, Mode0SliceReorderPreservesEntries) {
+  const auto t0 = tensor::make_random_tensor(32, 32, 32, 512, 5);
+  const auto t1 = reorder_mode0_by_slice(t0);
+  ASSERT_EQ(t1.i.size(), t0.i.size());
+  EXPECT_EQ(t1.dim0, t0.dim0);
+  EXPECT_EQ(t1.dim1, t0.dim1);
+  EXPECT_EQ(t1.dim2, t0.dim2);
+  // Entry multisets match up to the mode-0 relabeling: compare slice
+  // fingerprints (count and value-sum per slice, plus j/k multisets).
+  auto slice_sizes = [](const tensor::CooTensor& t) {
+    std::vector<std::size_t> sz(t.dim0, 0);
+    for (const std::uint32_t i : t.i) ++sz[i];
+    std::sort(sz.begin(), sz.end());
+    return sz;
+  };
+  EXPECT_EQ(slice_sizes(t1), slice_sizes(t0));
+  auto jk = [](const tensor::CooTensor& t) {
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> v;
+    for (std::size_t n = 0; n < t.j.size(); ++n) {
+      v.emplace_back(t.j[n], t.k[n]);
+    }
+    std::sort(v.begin(), v.end());
+    return v;
+  };
+  EXPECT_EQ(jk(t1), jk(t0));
+  // Slices come out largest-first.
+  std::vector<std::size_t> sz(t1.dim0, 0);
+  for (const std::uint32_t i : t1.i) ++sz[i];
+  for (std::size_t i = 0; i + 1 < sz.size(); ++i) {
+    EXPECT_GE(sz[i], sz[i + 1]) << "slice " << i;
+  }
+  // And the entry stream is re-sorted lexicographically.
+  for (std::size_t n = 1; n < t1.i.size(); ++n) {
+    const auto prev = std::make_tuple(t1.i[n - 1], t1.j[n - 1], t1.k[n - 1]);
+    const auto cur = std::make_tuple(t1.i[n], t1.j[n], t1.k[n]);
+    EXPECT_LE(prev, cur) << "entry " << n;
+  }
+}
+
+}  // namespace
+}  // namespace emusim::kernels
