@@ -13,7 +13,9 @@
 //     transforms are flat to mildly harmful: gated ratio_between
 //     [0.8, 1.1].  y is bit-identical across layouts by construction.
 //   * Table C repeats a slice on the 2-node machine (sharded-engine
-//     determinism coverage for --engine-threads).
+//     determinism coverage for --engine-threads); full mode adds a
+//     256-nodelet slice for the weekly sweep, sized for per-nodelet
+//     sharding (--engine-shard=nodelet).
 //   * Table D reorders a COO tensor's mode-0 slices by size and reruns the
 //     existing MTTKRP kernels — report-only.
 #include <string>
@@ -47,6 +49,9 @@ int main(int argc, char** argv) {
   bench::Harness h("abl_sparse_opt", argc, argv);
   const auto emu_cfg = emu::SystemConfig::chick_hw();
   const auto emu2_cfg = emu::SystemConfig::fullspeed_multinode(2);
+  // Full-mode only: a 256-nodelet slice for the weekly sweep, sized for the
+  // sub-node sharded engine (--engine-shard=nodelet scales to 256 shards).
+  const auto emu256_cfg = emu::SystemConfig::chick_fullspeed_nx(256);
 
   // The ablation Xeon: sandy_bridge with the LLC shrunk so the x vector
   // (2x the LLC) thrashes under CSR while one column block (a quarter of
@@ -65,6 +70,9 @@ int main(int argc, char** argv) {
 
   bench::record_config(h, emu_cfg, "emu.");
   bench::record_config(h, emu2_cfg, "emu2.");
+  // Quick baselines predate the 256-nodelet slice; keep their fingerprint
+  // byte-stable by recording it only when the slice actually runs.
+  if (!h.quick()) bench::record_config(h, emu256_cfg, "emu256.");
   bench::record_config(h, xeon_cfg, "xeon.");
   h.config("xeon_rows", static_cast<long long>(xeon_n));
   h.config("emu_rows", static_cast<long long>(emu_n));
@@ -86,7 +94,7 @@ int main(int argc, char** argv) {
   const std::string table_b =
       "Sparse ablation B: SpMV layouts on the migratory machine";
   const std::string table_c =
-      "Sparse ablation C: 2-node migratory slice (sharded engine)";
+      "Sparse ablation C: multi-node migratory slices (sharded engine)";
 
   struct Arm {
     std::string series;
@@ -104,13 +112,20 @@ int main(int argc, char** argv) {
   }
   arms.push_back({"emu2_rmat", table_c, true, &emu2_cfg,
                   graph::EdgeDist::rmat});
+  // The 256-nodelet slice is full-mode only: 32 node cards is weekly-sweep
+  // territory, and it is the arm the sub-node sharded engine is sized for.
+  if (!h.quick()) {
+    arms.push_back({"emu256_rmat", table_c, true, &emu256_cfg,
+                    graph::EdgeDist::rmat});
+  }
 
   for (const Arm& arm : arms) {
     if (!h.enabled(arm.series)) continue;
     for (int li = 0; li < 3; ++li) {
       const SparseLayout layout = layouts[li];
-      // The 2-node slice needs only the csr/blocked pair.
-      if (arm.series == "emu2_rmat" && layout == SparseLayout::reordered) {
+      // The multi-node slices need only the csr/blocked pair.
+      if ((arm.series == "emu2_rmat" || arm.series == "emu256_rmat") &&
+          layout == SparseLayout::reordered) {
         continue;
       }
       pool.submit([&h, &xeon_cfg, arm, layout, li, xeon_n, emu_n,

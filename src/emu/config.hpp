@@ -62,6 +62,14 @@ struct SystemConfig {
   double internode_bytes_per_sec = 5e9;
 
   int total_nodelets() const { return nodes * nodelets_per_node; }
+  /// One hop across the intra-node crossbar: half the full migration
+  /// latency (a migration traverses the fabric to the destination nodelet
+  /// and back-pressures the same path).  This is the transit cost of
+  /// anything crossing nodelets within a node without moving a full thread
+  /// context — the fetch-atomic request/response legs — and the lookahead
+  /// between a node's per-nodelet engine shards under
+  /// `--engine-shard=nodelet`.
+  Time intranode_hop() const { return migration_latency / 2; }
   int slots_per_nodelet() const {
     return gcs_per_nodelet * threadlet_slots_per_gc;
   }

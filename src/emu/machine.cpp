@@ -19,6 +19,9 @@ thread_local std::size_t g_engine_footprint_hint = 0;
 // decides independently how its machines run their shards.
 thread_local int g_engine_threads = 1;
 
+// Per-thread engine shard granularity (see set_engine_shard()).
+thread_local EngineShard g_engine_shard = EngineShard::node;
+
 // Per-thread run telemetry (see RunTelemetry in the header): machines fold
 // their engine event counts and footprint peak in at destruction; benches
 // consume with take_run_telemetry() after a point's machines are gone.
@@ -40,6 +43,14 @@ int set_engine_threads(int n) {
 }
 
 int engine_threads() { return g_engine_threads; }
+
+EngineShard set_engine_shard(EngineShard mode) {
+  const EngineShard prev = g_engine_shard;
+  g_engine_shard = mode;
+  return prev;
+}
+
+EngineShard engine_shard() { return g_engine_shard; }
 
 RunTelemetry take_run_telemetry() {
   const RunTelemetry r = g_run_telemetry;
@@ -65,25 +76,37 @@ std::uint64_t Nodelet::allocate(std::uint64_t bytes, std::uint64_t align) {
 
 Machine::Machine(const SystemConfig& cfg)
     : cfg_(cfg),
-      set_(static_cast<std::size_t>(cfg.nodes > 0 ? cfg.nodes : 1)),
+      shards_per_node_(g_engine_shard == EngineShard::nodelet && cfg.nodes > 0
+                           ? cfg.nodelets_per_node
+                           : 1),
+      set_(static_cast<std::size_t>(
+          (cfg.nodes > 0 ? cfg.nodes : 1) * shards_per_node_)),
       cycle_(cfg.cycle()),
-      next_tid_(static_cast<std::size_t>(cfg.nodes > 0 ? cfg.nodes : 1), 0) {
+      next_tid_(set_.shards(), 0) {
   cfg.validate();
+  if (shards_per_node_ > 1) {
+    // Two-level windows: the shards of one node run under the intra-node
+    // hop lookahead inside each inter-node-lookahead outer window.
+    EMUSIM_CHECK(cfg.intranode_hop() > 0);
+    set_.set_hierarchy(static_cast<std::size_t>(shards_per_node_),
+                       cfg.intranode_hop());
+  }
   if (g_engine_footprint_hint > 0) {
     for (int s = 0; s < num_shards(); ++s) {
       shard_engine(s).reserve(g_engine_footprint_hint);
     }
   }
-  if (cfg.nodes > 1) {
-    shard_stats_.resize(static_cast<std::size_t>(cfg.nodes));
-    trace_staging_.resize(static_cast<std::size_t>(cfg.nodes));
+  if (num_shards() > 1) {
+    shard_stats_.resize(set_.shards());
+    trace_staging_.resize(set_.shards());
     set_.set_window_hook(sim::SmallFn([this] { merge_trace_window(); }));
   }
   // Every node (and each of its nodelets) binds to its shard's engine: all
   // of a shard's resources schedule on the shard's own queue, never on a
-  // neighbor's.
+  // neighbor's.  Node-shared resources (migration engine, egress link)
+  // live on the node's gate shard.
   for (int n = 0; n < cfg.nodes; ++n) {
-    nodes_.emplace_back(shard_engine(n), cfg_);
+    nodes_.emplace_back(shard_engine(gate_shard(n)), cfg_);
   }
   for (int i = 0; i < cfg.total_nodelets(); ++i) {
     nodelets_.emplace_back(shard_engine(shard_of_nodelet(i)), cfg_, i);
@@ -154,7 +177,7 @@ void Machine::notify_child_done(Context* parent, int child_shard) {
   }
   Context* p = parent;
   post_remote(child_shard, home,
-              shard_engine(child_shard).now() + cfg_.internode_latency,
+              shard_engine(child_shard).now() + post_delay(child_shard, home),
               sim::SmallFn([p] { p->note_child_done(); }));
 }
 
@@ -166,19 +189,21 @@ sim::Op<> Context::atomic_fetch_remote(int nlet, std::uint64_t addr) {
     ++n.stats.atomics_in;
     m.record_trace(shard_, engine().now(), sim::TraceKind::remote_atomic, nlet,
                    nodelet_, 0, tid_);
-    // Request/response each ride the nodelet fabric (approximated by half a
-    // migration-engine latency each way) around the remote RMW.
-    const Time hop = m.cfg().migration_latency / 2;
+    // Request/response each ride the nodelet fabric (one intra-node
+    // crossbar hop each way) around the remote RMW.
+    const Time hop = m.cfg().intranode_hop();
     co_await engine().sleep(hop);
     n.channel().write(addr, 8);  // the remote read-modify-write
     n.channel().write(addr, 8);
     co_await engine().sleep(hop);
     co_return;
   }
-  // Cross-node: request and response each pay the inter-node latency and
-  // the RMW (stats, trace, channel occupancy) executes on the owning shard
-  // at delivery; the issuing thread stays put and blocks for the round
-  // trip.
+  // Off-shard target: request and response each pay the transit latency of
+  // the boundary they cross (the intra-node hop between sibling nodelet
+  // shards — matching the same-shard path's fabric approximation exactly —
+  // or the inter-node latency) and the RMW (stats, trace, channel
+  // occupancy) executes on the owning shard at delivery; the issuing
+  // thread stays put and blocks for the round trip.
   struct FetchAwaiter {
     Context& ctx;
     int nlet;
@@ -194,7 +219,7 @@ sim::Op<> Context::atomic_fetch_remote(int nlet, std::uint64_t addr) {
       const std::uint64_t a = addr;
       const int ds = dst_shard;
       m->post_remote(
-          src_shard, ds, ctx.engine().now() + m->cfg().internode_latency,
+          src_shard, ds, ctx.engine().now() + m->post_delay(src_shard, ds),
           sim::SmallFn([m, nl, from, a, t, src_shard, ds, h] {
             Nodelet& n = m->nodelet(nl);
             ++n.stats.atomics_in;
@@ -203,7 +228,8 @@ sim::Op<> Context::atomic_fetch_remote(int nlet, std::uint64_t addr) {
             n.channel().write(a, 8);
             n.channel().write(a, 8);
             m->post_wake(ds, src_shard,
-                         m->shard_engine(ds).now() + m->cfg().internode_latency,
+                         m->shard_engine(ds).now() +
+                             m->post_delay(ds, src_shard),
                          h);
           }));
     }
@@ -224,15 +250,20 @@ sim::Op<> Context::migrate_to(int dest) {
   ++m.shard_stats(shard_).migrations;
   m.record_trace(shard_, t0, sim::TraceKind::migrate_out, src, dest, 0, tid_);
 
-  co_await m.node(src_node).migration_engine().pass();
+  // Same-node migrations ride the gate straight to the destination
+  // nodelet's shard; cross-node ones resume on the gate shard, which owns
+  // the egress link they queue on next.
+  co_await gate_pass(src_node, src_node != dst_node
+                                   ? m.gate_shard(src_node)
+                                   : m.shard_of_nodelet(dest));
   if (src_node != dst_node) {
     ++m.shard_stats(shard_).internode_migrations;
     const Time wire =
         transfer_time(static_cast<double>(m.cfg().thread_context_bytes),
                       m.cfg().internode_bytes_per_sec);
     co_await m.node(src_node).link().access(wire);
-    co_await fabric_hop(dst_node, m.cfg().internode_latency);
-    co_await m.node(dst_node).migration_engine().pass();
+    co_await fabric_hop(m.gate_shard(dst_node), m.cfg().internode_latency);
+    co_await gate_pass(dst_node, m.shard_of_nodelet(dest));
   }
   co_await m.nodelet(dest).slots().acquire();
   arrive(dest);

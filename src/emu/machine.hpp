@@ -173,12 +173,27 @@ MachineObserver* machine_observer();
 
 /// Thread-local intra-point engine parallelism: how many worker threads a
 /// Machine constructed on this thread uses to run its shard engines (one
-/// shard per node; clamped to the shard count, so single-node machines are
-/// always serial).  Like the observer hook, this is thread-local so the
-/// sweep runner can compose `--jobs` (across points) with `--engine-threads`
-/// (within a point) per worker.  Returns the previous value.
+/// shard per node by default; clamped to the shard count, so single-node
+/// machines are serial unless nodelet sharding is on).  Like the observer
+/// hook, this is thread-local so the sweep runner can compose `--jobs`
+/// (across points) with `--engine-threads` (within a point) per worker.
+/// Returns the previous value.
 int set_engine_threads(int n);
 int engine_threads();
+
+/// Engine shard granularity (see sim/shard.hpp).  `node` is the default:
+/// one event-queue shard per node card, single-level windows with the
+/// inter-node lookahead.  `nodelet` shards per nodelet, grouped by node
+/// card under two-level windows (intra-node hop lookahead inside a node,
+/// inter-node lookahead across nodes), so --engine-threads can scale to
+/// the nodelet count instead of the node count.  Under either mode the
+/// thread count never changes simulation results; the two modes are
+/// distinct (equally valid) machine models, differing only in where
+/// intra-node cross-nodelet deliveries pay the crossbar hop.  Thread-local
+/// like set_engine_threads, captured at Machine construction.
+enum class EngineShard { node, nodelet };
+EngineShard set_engine_shard(EngineShard mode);
+EngineShard engine_shard();
 
 /// Per-thread run telemetry, accumulated as machines are destroyed: the
 /// engine-speed and memory-footprint numbers the bench harness attaches to
@@ -232,12 +247,35 @@ class Machine {
   Node& node(int i) { return nodes_[static_cast<std::size_t>(i)]; }
   Node& node_of_nodelet(int nlet) { return node(node_index_of(nlet)); }
 
-  // --- sharding (one shard per node; see sim/shard.hpp) ------------------
+  // --- sharding (per node, or per nodelet under --engine-shard=nodelet;
+  // see sim/shard.hpp) ----------------------------------------------------
 
   int num_shards() const { return static_cast<int>(set_.shards()); }
+  /// Engine shards per node card: 1 (node mode) or nodelets_per_node
+  /// (nodelet mode).
+  int shards_per_node() const { return shards_per_node_; }
   /// The shard that owns a nodelet's state (its engine, channel, slots,
-  /// stats): the nodelet's node.
-  int shard_of_nodelet(int nlet) const { return node_index_of(nlet); }
+  /// stats): the nodelet's node in node mode, the nodelet itself in nodelet
+  /// mode.
+  int shard_of_nodelet(int nlet) const {
+    return shards_per_node_ > 1 ? nlet : node_index_of(nlet);
+  }
+  /// The shard that owns a *node's* shared resources (migration engine,
+  /// egress link): the node's first shard.  Equals the node index in node
+  /// mode.
+  int gate_shard(int node) const { return node * shards_per_node_; }
+  int node_of_shard(int s) const { return s / shards_per_node_; }
+  /// Minimum latency a cross-shard post from `src_shard` to `dst_shard`
+  /// must pay: zero same-shard, the intra-node crossbar hop within a node,
+  /// the inter-node latency across nodes.  These are exactly the two
+  /// window lookaheads of the hierarchical engine, so any post paying
+  /// post_delay is lookahead-safe.
+  Time post_delay(int src_shard, int dst_shard) const {
+    if (src_shard == dst_shard) return 0;
+    return node_of_shard(src_shard) == node_of_shard(dst_shard)
+               ? cfg_.intranode_hop()
+               : cfg_.internode_latency;
+  }
   sim::Engine& shard_engine(int s) {
     return set_.shard(static_cast<std::size_t>(s));
   }
@@ -251,7 +289,7 @@ class Machine {
 
   /// Post a cross-shard delivery (applied remote write/atomic, sync
   /// protocol message) into the windowed mailboxes; `when` must pay at
-  /// least the inter-node latency (= the window lookahead).
+  /// least post_delay(src, dst) (= the level's window lookahead).
   void post_remote(int src_shard, int dst_shard, Time when, sim::SmallFn fn) {
     set_.post_call(static_cast<std::size_t>(src_shard),
                    static_cast<std::size_t>(dst_shard), when, std::move(fn));
@@ -342,6 +380,7 @@ class Machine {
   void merge_trace_window();
 
   SystemConfig cfg_;
+  int shards_per_node_;  ///< captured from engine_shard() at construction
   sim::EngineSet set_;
   std::shared_ptr<HostFootprint> host_footprint_ =
       std::make_shared<HostFootprint>();
@@ -436,9 +475,11 @@ class Context {
 
   /// Memory-side remote write: the value travels to the remote nodelet's
   /// memory-side processor; the thread does not migrate and does not wait.
-  /// Same-node targets are applied immediately (the old direct path); a
-  /// cross-node packet pays the inter-node latency and is applied by the
-  /// owning shard on arrival, so no shard ever touches another's state.
+  /// Same-shard targets are applied immediately (the old direct path); a
+  /// packet leaving the shard pays the transit latency of the boundary it
+  /// crosses — the intra-node crossbar hop or the inter-node link — and is
+  /// applied by the owning shard on arrival, so no shard ever touches
+  /// another's state.
   void write_remote(int nlet, std::uint64_t addr, std::uint32_t bytes) {
     const int ds = machine_->shard_of_nodelet(nlet);
     if (ds == shard_) {
@@ -455,7 +496,7 @@ class Context {
     const std::int32_t from = nodelet_;
     const std::int32_t t = tid_;
     machine_->post_remote(
-        shard_, ds, engine().now() + cfg().internode_latency,
+        shard_, ds, engine().now() + machine_->post_delay(shard_, ds),
         sim::SmallFn([m, nlet, from, addr, bytes, t] {
           Nodelet& n = m->nodelet(nlet);
           ++n.stats.writes;
@@ -476,10 +517,10 @@ class Context {
 
   /// Memory-side remote atomic carrying its host-side effect: `apply` runs
   /// when the atomic is performed at the owning nodelet — immediately for a
-  /// same-node target (matching the old call-site ordering, where the
+  /// same-shard target (matching the old call-site ordering, where the
   /// caller mutated host memory before posting the atomic), at delivery on
-  /// the owning shard for a cross-node target.  Kernels whose host mutation
-  /// targets remote striped data (GUPS xor, histogram bins, MTTKRP rank
+  /// the owning shard otherwise.  Kernels whose host mutation targets
+  /// remote striped data (GUPS xor, histogram bins, MTTKRP rank
   /// accumulations) must use this form: it is what keeps the mutation on
   /// the owning shard's thread under the sharded engine.
   template <class Apply>
@@ -500,7 +541,7 @@ class Context {
     const std::int32_t from = nodelet_;
     const std::int32_t t = tid_;
     machine_->post_remote(
-        shard_, ds, engine().now() + cfg().internode_latency,
+        shard_, ds, engine().now() + machine_->post_delay(shard_, ds),
         sim::SmallFn([m, nlet, from, addr, t,
                       apply = std::move(apply)]() mutable {
           apply();
@@ -551,11 +592,11 @@ class Context {
   /// *home shard* — the shard of the birth nodelet — to which every child
   /// completion is routed.  A context syncing away from its home shard
   /// therefore cannot read `completed_` directly: it sends a registration
-  /// message home and is woken by a message back (one inter-node latency
-  /// each way — the price of carrying sync state across the fabric).  The
-  /// common cases stay fast: a leaf thread (nothing spawned) is ready
-  /// immediately, and a parent syncing on its home shard checks directly,
-  /// exactly like the serial engine.
+  /// message home and is woken by a message back (one fabric transit each
+  /// way — post_delay between the shards — the price of carrying sync
+  /// state across the fabric).  The common cases stay fast: a leaf thread
+  /// (nothing spawned) is ready immediately, and a parent syncing on its
+  /// home shard checks directly, exactly like the serial engine.
   auto sync() {
     struct Awaiter {
       Context& ctx;
@@ -576,13 +617,14 @@ class Context {
         Context* p = &c;
         const int cur = c.shard_;
         c.machine_->post_remote(
-            cur, c.home_shard_, c.engine().now() + c.cfg().internode_latency,
+            cur, c.home_shard_,
+            c.engine().now() + c.machine_->post_delay(cur, c.home_shard_),
             sim::SmallFn([p, cur, h] {  // runs on the home shard
               if (p->completed_ == p->spawned_) {
                 Machine* m = p->machine_;
                 m->post_wake(p->home_shard_, cur,
                              m->shard_engine(p->home_shard_).now() +
-                                 m->cfg().internode_latency,
+                                 m->post_delay(p->home_shard_, cur),
                              h);
               } else {
                 p->waiter_shard_ = cur;
@@ -633,6 +675,58 @@ class Context {
     return Awaiter{*this, dest_shard, latency};
   }
 
+  /// Awaitable: queue on `node`'s migration engine and resume on shard
+  /// `resume_shard` one pipeline latency after the gate grants departure.
+  /// The gate lives on the node's gate shard; when the requester executes
+  /// on a sibling nodelet shard (nodelet sharding), the request crosses
+  /// the intra-node fabric to reach it — a transit that *overlaps* the
+  /// gate's queueing (the gate serves the request from its issue time, see
+  /// FifoServer::post_at), so an uncontended pass times exactly like the
+  /// one-shard-per-node model.  `shard_` is retargeted to `resume_shard`
+  /// at suspension so everything after the pass charges the right shard.
+  /// In node mode requester == owner == resume and this is byte-identical
+  /// to RateGate::pass().
+  auto gate_pass(int node, int resume_shard) {
+    struct Awaiter {
+      Context& ctx;
+      int node;
+      int resume;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        Machine* m = ctx.machine_;
+        const int src = ctx.shard_;
+        const int owner = m->gate_shard(node);
+        const Time t0 = ctx.engine().now();
+        ctx.shard_ = resume;
+        const int res = resume;
+        const int nd = node;
+        if (src == owner) {
+          sim::RateGate& gate = m->node(nd).migration_engine();
+          const Time when = gate.depart_at(t0) + gate.latency();
+          if (res == owner) {
+            m->shard_engine(owner).schedule(when, h);
+          } else {
+            m->post_wake(owner, res, when, h);
+          }
+          return;
+        }
+        m->post_remote(
+            src, owner, t0 + m->cfg().intranode_hop(),
+            sim::SmallFn([m, nd, t0, res, owner, h] {
+              sim::RateGate& gate = m->node(nd).migration_engine();
+              const Time when = gate.depart_at(t0) + gate.latency();
+              if (res == owner) {
+                m->shard_engine(owner).schedule(when, h);
+              } else {
+                m->post_wake(owner, res, when, h);
+              }
+            }));
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this, node, resume_shard};
+  }
+
   void arrive(int nlet) {
     nodelet_ = nlet;
     shard_ = machine_->shard_of_nodelet(nlet);
@@ -662,7 +756,7 @@ class Context {
       } else {
         machine_->post_wake(home_shard_, waiter_shard_,
                             machine_->shard_engine(home_shard_).now() +
-                                machine_->cfg().internode_latency,
+                                machine_->post_delay(home_shard_, waiter_shard_),
                             h);
       }
     }
@@ -697,14 +791,21 @@ sim::Task thread_main(Machine* m, std::unique_ptr<Context> ctx, F body) {
   if (c.via_fabric_) {
     const int src_node = m->node_index_of(c.src_nodelet_);
     const int dst_node = m->node_index_of(c.birth_nodelet_);
-    co_await m->node(src_node).migration_engine().pass();
+    const int birth_shard = m->shard_of_nodelet(c.birth_nodelet_);
+    // A same-node spawn packet rides straight from the gate to the birth
+    // nodelet's shard; a cross-node one resumes on the gate shard, which
+    // owns the egress link it queues on next.
+    co_await c.gate_pass(src_node, src_node != dst_node
+                                       ? m->gate_shard(src_node)
+                                       : birth_shard);
     if (src_node != dst_node) {
       const Time wire = transfer_time(
           static_cast<double>(m->cfg().thread_context_bytes),
           m->cfg().internode_bytes_per_sec);
       co_await m->node(src_node).link().access(wire);
-      co_await c.fabric_hop(dst_node, m->cfg().internode_latency);
-      co_await m->node(dst_node).migration_engine().pass();
+      co_await c.fabric_hop(m->gate_shard(dst_node),
+                            m->cfg().internode_latency);
+      co_await c.gate_pass(dst_node, birth_shard);
     }
   }
   if (!c.has_slot_at_birth_) {

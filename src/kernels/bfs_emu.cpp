@@ -92,8 +92,17 @@ Op<> relax_vertex(Context& ctx, BfsState* st, std::uint32_t u,
   for (std::size_t k = 0; k < deg; ++k) {
     const std::uint32_t v = st->adj.at(home_u, base + k);
     co_await ctx.issue(kBfsCyclesPerEdge);
-    if (st->dist_host[v] != kBfsUnreached) continue;  // already claimed
     const int home_v = st->home(v);
+    // Cheap already-claimed pre-check, only against state this shard owns:
+    // claims to v are serialized on v's home shard, so peeking at
+    // dist_host[v] from another shard would race with a claim running
+    // concurrently in the same window (nondeterministic under
+    // --engine-threads).  An off-shard v migrates and re-checks
+    // authoritatively below, exactly as before.
+    if (ctx.shard() == ctx.machine().shard_of_nodelet(home_v) &&
+        st->dist_host[v] != kBfsUnreached) {
+      continue;
+    }
     if (ctx.nodelet() != home_v) co_await ctx.migrate_to(home_v);
     co_await ctx.read_local(st->dist.byte_addr(v), 8);
     // Test-and-claim is atomic here: the DES interleaves threadlets only at
